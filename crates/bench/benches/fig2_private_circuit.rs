@@ -1,0 +1,91 @@
+//! Fig. 2 regeneration: the private-circuit AND gadget before and after
+//! security-unaware synthesis, judged by exact probing and by TVLA.
+//!
+//! Prints the measured artifact once, then times the experiment kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seceda_bench::masked_and_gadget;
+use seceda_sca::{
+    acquire_fixed_vs_random, first_order_leaks, tvla, MaskedNetlist, TraceCampaign,
+    TVLA_THRESHOLD,
+};
+use seceda_synth::{reassociate, SynthesisMode};
+use std::hint::black_box;
+
+fn print_artifact() {
+    let (masked, model) = masked_and_gadget();
+    let (aware, _) = reassociate(&masked.netlist, SynthesisMode::SecurityAware);
+    let (classical, report) = reassociate(&masked.netlist, SynthesisMode::Classical);
+    let campaign = TraceCampaign {
+        traces_per_group: 2000,
+        ..TraceCampaign::default()
+    };
+    let secure_groups =
+        acquire_fixed_vs_random(&masked, &[true, true], &campaign).expect("traces");
+    let t_secure = tvla(&secure_groups.fixed, &secure_groups.random).max_abs_t;
+    let broken = MaskedNetlist {
+        netlist: classical.clone(),
+        ..masked.clone()
+    };
+    let broken_groups = acquire_fixed_vs_random(&broken, &[true, true], &campaign).expect("traces");
+    let t_broken = tvla(&broken_groups.fixed, &broken_groups.random).max_abs_t;
+
+    println!("\n=== Fig. 2: private circuit vs security-unaware synthesis ===");
+    println!("| variant | probing leaks | TVLA max|t| (thr {TVLA_THRESHOLD}) | verdict |");
+    println!("|---|---|---|---|");
+    println!(
+        "| gadget as designed | {} | {:.2} | secure |",
+        first_order_leaks(&masked.netlist, &model).len(),
+        t_secure
+    );
+    println!(
+        "| security-aware synthesis | {} | (unchanged netlist) | secure |",
+        first_order_leaks(&aware, &model).len()
+    );
+    println!(
+        "| classical synthesis ({} factorings) | {} | {:.2} | BROKEN |",
+        report.factorings,
+        first_order_leaks(&classical, &model).len(),
+        t_broken
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let (masked, model) = masked_and_gadget();
+    c.bench_function("fig2/mask_transform", |b| {
+        let nl = {
+            let mut nl = seceda_netlist::Netlist::new("and");
+            let x = nl.add_input("a");
+            let y = nl.add_input("b");
+            let z = nl.add_gate(seceda_netlist::CellKind::And, &[x, y]);
+            nl.mark_output(z, "y");
+            nl
+        };
+        b.iter(|| black_box(seceda_sca::mask_netlist(black_box(&nl))))
+    });
+    c.bench_function("fig2/classical_reassociation", |b| {
+        b.iter(|| black_box(reassociate(black_box(&masked.netlist), SynthesisMode::Classical)))
+    });
+    c.bench_function("fig2/exact_probing_check", |b| {
+        b.iter(|| black_box(first_order_leaks(black_box(&masked.netlist), &model)))
+    });
+    let campaign = TraceCampaign {
+        traces_per_group: 200,
+        ..TraceCampaign::default()
+    };
+    c.bench_function("fig2/tvla_200_traces", |b| {
+        b.iter(|| {
+            let g = acquire_fixed_vs_random(&masked, &[true, true], &campaign).expect("traces");
+            black_box(tvla(&g.fixed, &g.random))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Sec. IV regeneration: security metrics behave like step functions of
+//! design effort, unlike smooth PPA metrics.
+//!
+//! Three security sweeps (SAT-attack effort vs. key width, proximity
+//! attack vs. split layer, PUF modeling accuracy vs. CRP count) are
+//! contrasted with a PPA sweep (area vs. key width); the step score
+//! quantifies the difference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seceda_core::{explore, step_score};
+use seceda_layout::{place, proximity_attack, route, split_at, PlacementConfig, RouteConfig};
+use seceda_lock::{sat_attack, sfll_hd0, xor_lock};
+use seceda_netlist::{c17, random_circuit, NetlistStats, RandomCircuitConfig};
+use seceda_puf::{collect_crps, model_arbiter_puf, ArbiterPuf, ArbiterPufConfig};
+use std::hint::black_box;
+
+fn sat_effort_sweep() -> seceda_core::DseSweep {
+    let nl = c17();
+    explore(
+        "SAT-attack oracle queries vs locking scheme strength",
+        &[2.0, 4.0, 8.0, 16.0, 24.0, 32.0],
+        |bits| {
+            let locked = if bits < 32.0 {
+                xor_lock(&nl, bits as usize, 5)
+            } else {
+                // the "step": switching schemes (SFLL) at the top end
+                sfll_hd0(&nl, &[true, false, true, true, false])
+            };
+            sat_attack(&locked, |x| nl.evaluate(x))
+                .expect("attack")
+                .expect("key")
+                .iterations as f64
+        },
+    )
+}
+
+fn split_sweep() -> (seceda_core::DseSweep, seceda_core::DseSweep) {
+    let host = random_circuit(&RandomCircuitConfig {
+        num_gates: 120,
+        num_inputs: 10,
+        num_outputs: 6,
+        ..RandomCircuitConfig::default()
+    });
+    let placement = place(&host, &PlacementConfig::default());
+    let routed = route(&host, &placement, &RouteConfig::default());
+    let ccr = explore(
+        "proximity-attack CCR vs split layer",
+        &[2.0, 3.0, 4.0, 5.0, 6.0],
+        |layer| proximity_attack(&host, &split_at(&routed, layer as u8)).ccr,
+    );
+    let wires = explore(
+        "hidden-wire count vs split layer (smooth, for contrast)",
+        &[2.0, 3.0, 4.0, 5.0, 6.0],
+        |layer| split_at(&routed, layer as u8).hidden.len() as f64,
+    );
+    (ccr, wires)
+}
+
+fn puf_sweep() -> seceda_core::DseSweep {
+    let config = ArbiterPufConfig {
+        noise_sigma: 0.0,
+        ..ArbiterPufConfig::default()
+    };
+    let puf = ArbiterPuf::manufacture(&config, 99);
+    let test = collect_crps(|c| puf.respond_ideal(c), 32, 400, 1);
+    explore(
+        "PUF modeling accuracy vs training CRPs",
+        &[10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0],
+        |n| {
+            let train = collect_crps(|c| puf.respond_ideal(c), 32, n as usize, 2);
+            model_arbiter_puf(&train, &test, 25, 0.1).accuracy
+        },
+    )
+}
+
+fn area_sweep() -> seceda_core::DseSweep {
+    let nl = c17();
+    explore(
+        "area vs key width (classical smooth metric)",
+        &[2.0, 4.0, 8.0, 16.0, 24.0, 32.0],
+        |bits| NetlistStats::of(&xor_lock(&nl, bits as usize, 5).netlist).area_ge,
+    )
+}
+
+fn print_artifact() {
+    println!("\n=== Sec. IV: step-function security metrics vs smooth PPA ===");
+    let sat = sat_effort_sweep();
+    let (ccr, wires) = split_sweep();
+    let puf = puf_sweep();
+    let area = area_sweep();
+    for sweep in [&sat, &ccr, &wires, &puf, &area] {
+        println!("\n{} (step score {:.2}):", sweep.name, sweep.step_score());
+        for p in &sweep.points {
+            println!("  param {:>8.0} -> {:>10.3}", p.parameter, p.metric);
+        }
+    }
+    println!(
+        "\nsecurity metrics step scores: SAT {:.2}, PUF {:.2} | PPA area: {:.2}",
+        sat.step_score(),
+        puf.step_score(),
+        area.step_score()
+    );
+    let _ = step_score(&[]);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    c.bench_function("step/sat_attack_point_8bit", |b| {
+        let nl = c17();
+        let locked = xor_lock(&nl, 8, 5);
+        b.iter(|| {
+            black_box(
+                sat_attack(&locked, |x| nl.evaluate(x))
+                    .expect("attack")
+                    .expect("key"),
+            )
+        })
+    });
+    c.bench_function("step/puf_model_1000_crps", |b| {
+        let config = ArbiterPufConfig {
+            noise_sigma: 0.0,
+            ..ArbiterPufConfig::default()
+        };
+        let puf = ArbiterPuf::manufacture(&config, 99);
+        let train = collect_crps(|c| puf.respond_ideal(c), 32, 1000, 2);
+        let test = collect_crps(|c| puf.respond_ideal(c), 32, 200, 3);
+        b.iter(|| black_box(model_arbiter_puf(&train, &test, 25, 0.1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

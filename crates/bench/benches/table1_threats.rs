@@ -1,0 +1,30 @@
+//! Table I regeneration: the four threat rows with measured evidence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seceda_core::table1;
+use seceda_lock::{sat_attack, xor_lock};
+use seceda_netlist::c17;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", table1());
+    // kernel: the piracy row's SAT attack, the most expensive experiment
+    let nl = c17();
+    let locked = xor_lock(&nl, 8, 7);
+    c.bench_function("table1/sat_attack_c17_8bit", |b| {
+        b.iter(|| {
+            black_box(
+                sat_attack(black_box(&locked), |x| nl.evaluate(x))
+                    .expect("attack")
+                    .expect("key"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table II regeneration: six design stages × four threat vectors, all
+//! 24 cells backed by experiments on the seceda substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seceda_core::table2;
+use seceda_fia::{analyze_faults, duplicate_with_compare, FaultCampaign, InjectionModel};
+use seceda_netlist::majority;
+use seceda_verif::prove_detection;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", table2());
+    // kernels from two representative cells
+    let dwc = duplicate_with_compare(&majority());
+    c.bench_function("table2/fault_campaign_dwc", |b| {
+        let campaign = FaultCampaign {
+            model: InjectionModel::RandomGate,
+            shots: 60,
+            seed: 3,
+        };
+        b.iter(|| black_box(analyze_faults(black_box(&dwc), &campaign, 6, 4).expect("analysis")))
+    });
+    c.bench_function("table2/formal_detection_proof_dwc", |b| {
+        b.iter(|| black_box(prove_detection(black_box(&dwc)).expect("prove")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

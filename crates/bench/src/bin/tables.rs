@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table I and Table II with measured evidence.
+//!
+//! ```sh
+//! cargo run -p seceda-bench --release --bin tables
+//! ```
+
+fn main() {
+    println!("{}", seceda_core::table1());
+    println!();
+    println!("{}", seceda_core::table2());
+}

@@ -1,0 +1,26 @@
+//! # seceda-bench
+//!
+//! The experiment harness: one Criterion bench per table/figure of the
+//! paper (each prints its measured artifact before timing the kernels)
+//! and two binaries that regenerate all artifacts in one go:
+//!
+//! * `cargo run -p seceda-bench --release --bin tables` — Table I and
+//!   Table II with measured evidence in every cell;
+//! * `cargo run -p seceda-bench --release --bin sweeps` — the Fig. 2
+//!   experiment plus the step-function metric sweeps of Sec. IV.
+//!
+//! Benches: `fig1_flow`, `fig2_private_circuit`, `table1_threats`,
+//! `table2_matrix`, `composition_crosseffect`, `step_metrics`.
+
+/// Builds the masked AND gadget shared by several experiments.
+pub fn masked_and_gadget() -> (seceda_sca::MaskedNetlist, seceda_sca::ProbingModel) {
+    use seceda_netlist::{CellKind, Netlist};
+    let mut nl = Netlist::new("and");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let y = nl.add_gate(CellKind::And, &[a, b]);
+    nl.mark_output(y, "y");
+    let masked = seceda_sca::mask_netlist(&nl);
+    let model = seceda_sca::ProbingModel::of(&masked);
+    (masked, model)
+}

@@ -1,0 +1,227 @@
+//! A 16-bit SPN toy cipher for exhaustive fault and leakage experiments.
+//!
+//! Structure per round: AddRoundKey → SubNibbles (PRESENT S-box on four
+//! 4-bit nibbles) → PermuteBits (PRESENT-style P-layer); a final key
+//! addition follows the last round. The 16-bit block size keeps
+//! differential fault analysis and exhaustive search trivially fast while
+//! exercising the same code paths as a real cipher.
+
+use crate::netlist_gen::table_lookup;
+use seceda_netlist::{Netlist, Word};
+
+/// The PRESENT 4-bit S-box.
+pub const TOY_SBOX: [u8; 16] = [
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+];
+
+/// Bit permutation: output bit `i` takes input bit `TOY_PERM[i]`.
+///
+/// PRESENT-style spreading: `TOY_PERM[i] = (4 * i) mod 15` for `i < 15`,
+/// fixing bit 15.
+pub const TOY_PERM: [usize; 16] = [0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15];
+
+/// Number of rounds.
+pub const TOY_ROUNDS: usize = 4;
+
+/// The toy SPN cipher with a fixed 16-bit master key.
+///
+/// The round keys are rotations of the master key (`rk_r = key <<< r`),
+/// which is cryptographically weak but structurally faithful.
+///
+/// # Example
+///
+/// ```
+/// use seceda_cipher::ToyCipher;
+///
+/// let cipher = ToyCipher::new(0xBEEF);
+/// let ct = cipher.encrypt(0x1234);
+/// assert_ne!(ct, 0x1234);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToyCipher {
+    key: u16,
+}
+
+impl ToyCipher {
+    /// Creates a cipher with the given master key.
+    pub fn new(key: u16) -> Self {
+        ToyCipher { key }
+    }
+
+    /// The master key.
+    pub fn key(&self) -> u16 {
+        self.key
+    }
+
+    /// The round key for round `r` (0-based; round `TOY_ROUNDS` is the
+    /// final whitening key).
+    pub fn round_key(&self, r: usize) -> u16 {
+        self.key.rotate_left(r as u32)
+    }
+
+    fn sub_nibbles(x: u16) -> u16 {
+        let mut y = 0u16;
+        for n in 0..4 {
+            let nib = (x >> (4 * n)) & 0xF;
+            y |= (TOY_SBOX[nib as usize] as u16) << (4 * n);
+        }
+        y
+    }
+
+    fn permute(x: u16) -> u16 {
+        let mut y = 0u16;
+        for (i, &src) in TOY_PERM.iter().enumerate() {
+            y |= ((x >> src) & 1) << i;
+        }
+        y
+    }
+
+    /// Encrypts one 16-bit block.
+    pub fn encrypt(&self, plaintext: u16) -> u16 {
+        let mut state = plaintext;
+        for r in 0..TOY_ROUNDS {
+            state ^= self.round_key(r);
+            state = Self::sub_nibbles(state);
+            state = Self::permute(state);
+        }
+        state ^ self.round_key(TOY_ROUNDS)
+    }
+
+    /// Encrypts with a single-bit fault injected into the state right
+    /// before the S-box layer of round `fault_round` — the access pattern
+    /// differential fault analysis exploits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault_round >= TOY_ROUNDS` or `fault_bit >= 16`.
+    pub fn encrypt_with_fault(&self, plaintext: u16, fault_round: usize, fault_bit: usize) -> u16 {
+        assert!(fault_round < TOY_ROUNDS, "fault round out of range");
+        assert!(fault_bit < 16, "fault bit out of range");
+        let mut state = plaintext;
+        for r in 0..TOY_ROUNDS {
+            state ^= self.round_key(r);
+            if r == fault_round {
+                state ^= 1 << fault_bit;
+            }
+            state = Self::sub_nibbles(state);
+            state = Self::permute(state);
+        }
+        state ^ self.round_key(TOY_ROUNDS)
+    }
+
+    /// Builds the full gate-level datapath: inputs `pt\[16\]` and `key\[16\]`,
+    /// output `ct\[16\]`. The key is a primary input so locking, DFT and
+    /// scan-attack experiments can observe or protect it.
+    pub fn netlist() -> Netlist {
+        let mut nl = Netlist::new("toy_cipher");
+        let pt = Word::input(&mut nl, "pt", 16);
+        let key = Word::input(&mut nl, "key", 16);
+        let ct = Self::datapath(&mut nl, &pt, &key);
+        ct.mark_output(&mut nl, "ct");
+        nl
+    }
+
+    /// Instantiates the encryption datapath inside an existing netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pt` or `key` is not 16 bits wide.
+    pub fn datapath(nl: &mut Netlist, pt: &Word, key: &Word) -> Word {
+        assert_eq!(pt.width(), 16, "plaintext must be 16 bits");
+        assert_eq!(key.width(), 16, "key must be 16 bits");
+        let sbox_table: Vec<u64> = TOY_SBOX.iter().map(|&v| v as u64).collect();
+        let mut state = pt.clone();
+        for r in 0..TOY_ROUNDS {
+            let rk = key.rotate_left(r);
+            state = state.xor(nl, &rk);
+            // S-box layer, nibble by nibble
+            let mut bits = Vec::with_capacity(16);
+            for n in 0..4 {
+                let nib = Word::new(state.bits()[4 * n..4 * n + 4].to_vec());
+                let sub = table_lookup(nl, &nib, &sbox_table, 4);
+                bits.extend_from_slice(sub.bits());
+            }
+            let subbed = Word::new(bits);
+            // P-layer is pure wiring
+            let permuted: Vec<_> = TOY_PERM.iter().map(|&src| subbed.bits()[src]).collect();
+            state = Word::new(permuted);
+        }
+        let final_key = key.rotate_left(TOY_ROUNDS);
+        state.xor(nl, &final_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seceda_netlist::{bits_to_u64, u64_to_bits};
+
+    #[test]
+    fn sbox_is_permutation() {
+        let mut seen = [false; 16];
+        for &v in TOY_SBOX.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn perm_is_permutation() {
+        let mut seen = [false; 16];
+        for &p in TOY_PERM.iter() {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn encryption_is_injective() {
+        let cipher = ToyCipher::new(0xACE1);
+        let mut seen = vec![false; 1 << 16];
+        for pt in 0..=u16::MAX {
+            let ct = cipher.encrypt(pt);
+            assert!(!seen[ct as usize], "collision at pt {pt:#x}");
+            seen[ct as usize] = true;
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = ToyCipher::new(0x0000).encrypt(0x1234);
+        let b = ToyCipher::new(0x0001).encrypt(0x1234);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fault_changes_ciphertext() {
+        let cipher = ToyCipher::new(0x5AA5);
+        let clean = cipher.encrypt(0x0F0F);
+        let faulty = cipher.encrypt_with_fault(0x0F0F, TOY_ROUNDS - 1, 3);
+        assert_ne!(clean, faulty);
+    }
+
+    #[test]
+    fn netlist_matches_software_model() {
+        let nl = ToyCipher::netlist();
+        for (pt, key) in [
+            (0x0000u16, 0x0000u16),
+            (0x1234, 0xBEEF),
+            (0xFFFF, 0xFFFF),
+            (0xA5A5, 0x0F0F),
+            (0x0001, 0x8000),
+        ] {
+            let mut inputs = u64_to_bits(pt as u64, 16);
+            inputs.extend(u64_to_bits(key as u64, 16));
+            let hw = bits_to_u64(&nl.evaluate(&inputs)) as u16;
+            let sw = ToyCipher::new(key).encrypt(pt);
+            assert_eq!(hw, sw, "pt={pt:#x} key={key:#x}");
+        }
+    }
+
+    #[test]
+    fn round_keys_rotate() {
+        let c = ToyCipher::new(0x8001);
+        assert_eq!(c.round_key(0), 0x8001);
+        assert_eq!(c.round_key(1), 0x0003);
+    }
+}

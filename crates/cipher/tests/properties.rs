@@ -1,0 +1,60 @@
+//! Property-based tests for the cipher substrate.
+
+use proptest::prelude::*;
+use seceda_cipher::{Aes128, ToyCipher, AES_SBOX};
+use seceda_netlist::{bits_to_u64, u64_to_bits};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn toy_netlist_always_matches_software(pt in any::<u16>(), key in any::<u16>()) {
+        let nl = ToyCipher::netlist();
+        let mut inputs = u64_to_bits(pt as u64, 16);
+        inputs.extend(u64_to_bits(key as u64, 16));
+        let hw = bits_to_u64(&nl.evaluate(&inputs)) as u16;
+        prop_assert_eq!(hw, ToyCipher::new(key).encrypt(pt));
+    }
+
+    #[test]
+    fn toy_faulty_encryption_differs_from_clean(
+        pt in any::<u16>(),
+        key in any::<u16>(),
+        round in 0usize..seceda_cipher::TOY_ROUNDS,
+        bit in 0usize..16,
+    ) {
+        let cipher = ToyCipher::new(key);
+        // a single-bit fault before an S-box layer always changes the
+        // ciphertext (S-boxes are bijections, the P-layer is a wiring
+        // permutation, key addition is XOR)
+        prop_assert_ne!(cipher.encrypt(pt), cipher.encrypt_with_fault(pt, round, bit));
+    }
+
+    #[test]
+    fn aes_different_keys_give_different_ciphertexts(
+        key_byte in any::<u8>(),
+        other in any::<u8>(),
+    ) {
+        prop_assume!(key_byte != other);
+        let mut k1 = [0u8; 16];
+        k1[0] = key_byte;
+        let mut k2 = [0u8; 16];
+        k2[0] = other;
+        let pt = [0x42u8; 16];
+        prop_assert_ne!(
+            Aes128::new(&k1).encrypt_block(&pt),
+            Aes128::new(&k2).encrypt_block(&pt)
+        );
+    }
+
+    #[test]
+    fn first_round_target_is_consistent(pt in any::<u8>(), key in any::<u8>()) {
+        let mut k = [0u8; 16];
+        k[3] = key;
+        let aes = Aes128::new(&k);
+        prop_assert_eq!(
+            aes.first_round_sbox_byte(pt, 3),
+            AES_SBOX[(pt ^ key) as usize]
+        );
+    }
+}

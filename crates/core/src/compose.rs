@@ -1,0 +1,448 @@
+//! The secure-composition engine (the paper's Sec. IV, executable).
+//!
+//! The engine owns a design under test, applies countermeasures, and —
+//! after every single application — re-runs the evaluations for *all*
+//! threat vectors, comparing against the previous report. A metric that
+//! flips from pass to fail is a *negative cross-effect*: the freshly
+//! inserted countermeasure silently compromised an earlier one.
+//!
+//! The canonical run (see the tests and the `composition_crosseffect`
+//! bench) reproduces \[61\]: Boolean masking passes the side-channel
+//! evaluation; adding parity-based fault detection restores fault
+//! coverage but *fails* the re-run side-channel check, because the
+//! parity predictor recombines the shares. Duplication-with-compare,
+//! which compares share-wise, composes cleanly.
+
+use crate::metrics::{MetricValue, SecurityMetric, SecurityReport};
+use crate::threat::ThreatVector;
+use seceda_fia::{analyze_faults, duplicate_with_compare, parity_protect, FaultCampaign, InjectionModel, ProtectedNetlist};
+use seceda_lock::xor_lock;
+use seceda_netlist::{Netlist, NetlistError};
+use seceda_sca::{first_order_leaks, mask_netlist, ProbingModel};
+use seceda_sim::signal_probabilities;
+use seceda_trojan::insert_rare_event_monitor;
+
+/// A design plus the interface semantics the evaluations need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignUnderTest {
+    /// The current netlist.
+    pub netlist: Netlist,
+    /// Masked-interface description, if the design is masked (set by the
+    /// masking countermeasure).
+    pub probing_model: Option<ProbingModel>,
+    /// Index of an alarm output, if a detection scheme is present.
+    pub alarm_index: Option<usize>,
+    /// Number of locking key bits present.
+    pub key_bits: usize,
+    /// Whether runtime Trojan monitors are present.
+    pub monitored: bool,
+}
+
+impl DesignUnderTest {
+    /// Wraps a plain netlist with no countermeasures applied.
+    pub fn new(netlist: Netlist) -> Self {
+        DesignUnderTest {
+            netlist,
+            probing_model: None,
+            alarm_index: None,
+            key_bits: 0,
+            monitored: false,
+        }
+    }
+}
+
+/// The countermeasures the engine can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Countermeasure {
+    /// 3-share ISW Boolean masking (`seceda-sca`).
+    Masking,
+    /// Parity-code fault detection (`seceda-fia`) — cheap, but does not
+    /// compose with masking.
+    ParityCheck,
+    /// Duplication with comparison (`seceda-fia`) — share-wise, composes
+    /// with masking.
+    DuplicationCompare,
+    /// EPIC-style XOR locking with the given key width (`seceda-lock`).
+    XorLock(usize),
+    /// Rare-event Trojan monitors (`seceda-trojan`).
+    TrojanMonitor,
+}
+
+/// Thresholds and effort knobs of the evaluation suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecurityEvaluation {
+    /// Max tolerated first-order probing leaks (0 = provably none).
+    pub max_probing_leaks: usize,
+    /// Min fault-detection coverage.
+    pub min_fault_coverage: f64,
+    /// Fault campaign shots.
+    pub fia_shots: usize,
+    /// Min locking key bits for piracy protection.
+    pub min_key_bits: usize,
+    /// Max unmonitored rare nets (Trojan insertion surface).
+    pub max_unmonitored_rare_nets: usize,
+    /// Rarity threshold for the Trojan surface metric.
+    pub rare_threshold: f64,
+    /// Seed for the stochastic evaluations.
+    pub seed: u64,
+}
+
+impl Default for SecurityEvaluation {
+    fn default() -> Self {
+        SecurityEvaluation {
+            max_probing_leaks: 0,
+            min_fault_coverage: 0.99,
+            fia_shots: 100,
+            min_key_bits: 8,
+            max_unmonitored_rare_nets: 0,
+            rare_threshold: 0.05,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+/// What one engine step produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationOutcome {
+    /// The full multi-threat report after the step.
+    pub report: SecurityReport,
+    /// Names of metrics that regressed pass → fail in this step — the
+    /// cross-effects the paper warns about.
+    pub regressions: Vec<String>,
+}
+
+/// The composition engine.
+#[derive(Debug, Clone)]
+pub struct CompositionEngine {
+    dut: DesignUnderTest,
+    eval: SecurityEvaluation,
+    history: Vec<SecurityReport>,
+    applied: Vec<Countermeasure>,
+}
+
+impl CompositionEngine {
+    /// Creates an engine over a design.
+    pub fn new(dut: DesignUnderTest, eval: SecurityEvaluation) -> Self {
+        CompositionEngine {
+            dut,
+            eval,
+            history: Vec::new(),
+            applied: Vec::new(),
+        }
+    }
+
+    /// The current design state.
+    pub fn design(&self) -> &DesignUnderTest {
+        &self.dut
+    }
+
+    /// Countermeasures applied so far, in order.
+    pub fn applied(&self) -> &[Countermeasure] {
+        &self.applied
+    }
+
+    /// All reports, in chronological order.
+    pub fn history(&self) -> &[SecurityReport] {
+        &self.history
+    }
+
+    /// Evaluates every threat vector on the current design and appends
+    /// the report to the history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn evaluate(&mut self, label: &str) -> Result<&SecurityReport, NetlistError> {
+        let mut report = SecurityReport::new(label);
+
+        // --- side channels: exact first-order probing when masked ---
+        match &self.dut.probing_model {
+            Some(model)
+                if self.dut.netlist.inputs().len()
+                    == model.num_secrets * seceda_sca::NUM_SHARES + model.num_randoms =>
+            {
+                let leaks = first_order_leaks(&self.dut.netlist, model);
+                report.metrics.push(SecurityMetric::new(
+                    "first-order probing leaks",
+                    ThreatVector::SideChannel,
+                    MetricValue::LowerBetter {
+                        value: leaks.len() as f64,
+                        threshold: self.eval.max_probing_leaks as f64,
+                    },
+                ));
+            }
+            _ => {
+                // unmasked: every secret wire is a first-order leak
+                report.metrics.push(SecurityMetric::new(
+                    "first-order probing leaks",
+                    ThreatVector::SideChannel,
+                    MetricValue::LowerBetter {
+                        value: self.dut.netlist.inputs().len().max(1) as f64,
+                        threshold: self.eval.max_probing_leaks as f64,
+                    },
+                ));
+            }
+        }
+
+        // --- fault injection: detection coverage on single gate faults ---
+        let protected = ProtectedNetlist {
+            netlist: self.dut.netlist.clone(),
+            alarm_index: self.dut.alarm_index,
+        };
+        let campaign = FaultCampaign {
+            model: InjectionModel::RandomGate,
+            shots: self.eval.fia_shots,
+            seed: self.eval.seed,
+        };
+        let analysis = analyze_faults(&protected, &campaign, 4, self.eval.seed ^ 1)?;
+        let coverage = if analysis.detected + analysis.silent == 0 {
+            // nothing corrupted anything — treat as covered only when an
+            // alarm exists; an unprotected design earns no credit
+            if self.dut.alarm_index.is_some() {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            analysis.detection_coverage
+        };
+        report.metrics.push(SecurityMetric::new(
+            "fault-detection coverage",
+            ThreatVector::FaultInjection,
+            MetricValue::HigherBetter {
+                value: coverage,
+                threshold: self.eval.min_fault_coverage,
+            },
+        ));
+
+        // --- piracy: locking key material present ---
+        report.metrics.push(SecurityMetric::new(
+            "locking key bits",
+            ThreatVector::Piracy,
+            MetricValue::HigherBetter {
+                value: self.dut.key_bits as f64,
+                threshold: self.eval.min_key_bits as f64,
+            },
+        ));
+
+        // --- Trojans: unmonitored rare-net surface ---
+        let probs = signal_probabilities(&self.dut.netlist, 32, self.eval.seed ^ 2)?;
+        // nets that never toggle (empirical rarity 0) cannot fire a
+        // functional trigger and are excluded, matching the insertion
+        // model in `seceda-trojan`
+        let rare = self
+            .dut
+            .netlist
+            .gates()
+            .iter()
+            .map(|g| probs[g.output.index()])
+            .map(|p| p.min(1.0 - p))
+            .filter(|&r| r > 0.0 && r <= self.eval.rare_threshold)
+            .count();
+        let unmonitored = if self.dut.monitored { 0 } else { rare };
+        report.metrics.push(SecurityMetric::new(
+            "unmonitored rare nets",
+            ThreatVector::Trojan,
+            MetricValue::LowerBetter {
+                value: unmonitored as f64,
+                threshold: self.eval.max_unmonitored_rare_nets as f64,
+            },
+        ));
+
+        self.history.push(report);
+        Ok(self.history.last().expect("just pushed"))
+    }
+
+    /// Applies a countermeasure, then re-evaluates **all** threats and
+    /// reports any regression — the paper's secure-composition loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the countermeasure cannot apply to the current design
+    /// (e.g. masking a sequential netlist).
+    pub fn apply(&mut self, cm: Countermeasure) -> Result<EvaluationOutcome, NetlistError> {
+        let baseline = self.history.last().cloned();
+        match cm {
+            Countermeasure::Masking => {
+                let masked = mask_netlist(&self.dut.netlist);
+                self.dut.probing_model = Some(ProbingModel::of(&masked));
+                self.dut.netlist = masked.netlist;
+                self.dut.alarm_index = None; // masking replaced the design
+            }
+            Countermeasure::ParityCheck => {
+                let p = parity_protect(&self.dut.netlist);
+                self.dut.netlist = p.netlist;
+                self.dut.alarm_index = p.alarm_index;
+            }
+            Countermeasure::DuplicationCompare => {
+                let p = duplicate_with_compare(&self.dut.netlist);
+                self.dut.netlist = p.netlist;
+                self.dut.alarm_index = p.alarm_index;
+            }
+            Countermeasure::XorLock(bits) => {
+                let locked = xor_lock(&self.dut.netlist, bits, self.eval.seed ^ 3);
+                self.dut.netlist = locked.netlist;
+                self.dut.key_bits += bits;
+                // key inputs change the interface; exact probing no
+                // longer applies as-is
+                self.dut.probing_model = None;
+            }
+            Countermeasure::TrojanMonitor => {
+                let monitored = insert_rare_event_monitor(
+                    &self.dut.netlist,
+                    1,
+                    usize::MAX,
+                    self.eval.rare_threshold,
+                    self.eval.seed ^ 4,
+                )?;
+                self.dut.netlist = monitored.netlist;
+                self.dut.monitored = true;
+            }
+        }
+        self.applied.push(cm);
+        let label = format!("after {cm:?}");
+        let report = self.evaluate(&label)?.clone();
+        let regressions = match &baseline {
+            Some(base) => report
+                .regressions_from(base)
+                .into_iter()
+                .map(|m| m.name.clone())
+                .collect(),
+            None => Vec::new(),
+        };
+        Ok(EvaluationOutcome {
+            report,
+            regressions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Verdict as V;
+    use seceda_netlist::CellKind;
+
+    fn and_gadget() -> DesignUnderTest {
+        let mut nl = Netlist::new("and");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate(CellKind::And, &[a, b]);
+        nl.mark_output(y, "y");
+        DesignUnderTest::new(nl)
+    }
+
+    fn sca_verdict(report: &SecurityReport) -> V {
+        report
+            .metrics
+            .iter()
+            .find(|m| m.name == "first-order probing leaks")
+            .expect("metric present")
+            .verdict
+    }
+
+    #[test]
+    fn masking_fixes_sca_and_leaves_fia_open() {
+        let mut engine = CompositionEngine::new(and_gadget(), SecurityEvaluation::default());
+        engine.evaluate("baseline").expect("eval");
+        assert_eq!(sca_verdict(&engine.history()[0]), V::Fail);
+        let outcome = engine.apply(Countermeasure::Masking).expect("apply");
+        assert_eq!(sca_verdict(&outcome.report), V::Pass);
+        let fia = outcome
+            .report
+            .metrics
+            .iter()
+            .find(|m| m.name == "fault-detection coverage")
+            .expect("metric");
+        assert_eq!(fia.verdict, V::Fail, "masking alone detects no faults");
+        assert!(outcome.regressions.is_empty());
+    }
+
+    #[test]
+    fn parity_check_on_masked_design_regresses_sca() {
+        // The paper's Sec. IV / [61] cross-effect, caught automatically.
+        let mut engine = CompositionEngine::new(and_gadget(), SecurityEvaluation::default());
+        engine.evaluate("baseline").expect("eval");
+        engine.apply(Countermeasure::Masking).expect("mask");
+        let outcome = engine.apply(Countermeasure::ParityCheck).expect("parity");
+        assert!(
+            outcome
+                .regressions
+                .contains(&"first-order probing leaks".to_string()),
+            "the engine must flag the masking/parity conflict: {:?}",
+            outcome.regressions
+        );
+        assert_eq!(sca_verdict(&outcome.report), V::Fail);
+        // and the fault metric did improve — that's why naive flows
+        // accept this countermeasure
+        let fia = outcome
+            .report
+            .metrics
+            .iter()
+            .find(|m| m.name == "fault-detection coverage")
+            .expect("metric");
+        assert_eq!(fia.verdict, V::Pass);
+    }
+
+    #[test]
+    fn duplication_composes_cleanly_with_masking() {
+        let mut engine = CompositionEngine::new(and_gadget(), SecurityEvaluation::default());
+        engine.evaluate("baseline").expect("eval");
+        engine.apply(Countermeasure::Masking).expect("mask");
+        let outcome = engine
+            .apply(Countermeasure::DuplicationCompare)
+            .expect("dwc");
+        assert!(
+            outcome.regressions.is_empty(),
+            "share-wise duplication must not break masking: {:?}",
+            outcome.regressions
+        );
+        assert_eq!(sca_verdict(&outcome.report), V::Pass);
+        let fia = outcome
+            .report
+            .metrics
+            .iter()
+            .find(|m| m.name == "fault-detection coverage")
+            .expect("metric");
+        assert_eq!(fia.verdict, V::Pass);
+    }
+
+    #[test]
+    fn locking_and_monitoring_move_their_metrics() {
+        let mut engine = CompositionEngine::new(and_gadget(), SecurityEvaluation::default());
+        engine.evaluate("baseline").expect("eval");
+        let locked = engine.apply(Countermeasure::XorLock(8)).expect("lock");
+        let piracy = locked
+            .report
+            .metrics
+            .iter()
+            .find(|m| m.name == "locking key bits")
+            .expect("metric");
+        assert_eq!(piracy.verdict, V::Pass);
+        let monitored = engine.apply(Countermeasure::TrojanMonitor).expect("monitor");
+        let trojan = monitored
+            .report
+            .metrics
+            .iter()
+            .find(|m| m.name == "unmonitored rare nets")
+            .expect("metric");
+        assert_eq!(trojan.verdict, V::Pass);
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let mut engine = CompositionEngine::new(and_gadget(), SecurityEvaluation::default());
+        engine.evaluate("baseline").expect("eval");
+        engine.apply(Countermeasure::Masking).expect("mask");
+        engine.apply(Countermeasure::DuplicationCompare).expect("dwc");
+        assert_eq!(engine.history().len(), 3);
+        assert_eq!(
+            engine.applied(),
+            &[Countermeasure::Masking, Countermeasure::DuplicationCompare]
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Security-aware design-space exploration and step-function detection.
+//!
+//! Sec. IV: "one can expect some security metrics to act more like step
+//! functions, where certain efforts must be spent to reach a security
+//! level, but spending more will not provide additional benefits. This
+//! is fundamentally different from classical metrics like area."
+//! [`step_score`] quantifies that: the fraction of a curve's total change
+//! concentrated in its single largest jump. Smooth PPA curves score low;
+//! threshold-like security curves score high.
+
+/// One sampled point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsePoint {
+    /// The swept design parameter (key bits, split layer, traces, ...).
+    pub parameter: f64,
+    /// The measured metric at that parameter.
+    pub metric: f64,
+}
+
+/// A named sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseSweep {
+    /// What was swept and measured.
+    pub name: String,
+    /// The samples, in increasing parameter order.
+    pub points: Vec<DsePoint>,
+}
+
+impl DseSweep {
+    /// The step score of the metric curve (see [`step_score`]).
+    pub fn step_score(&self) -> f64 {
+        step_score(&self.points.iter().map(|p| p.metric).collect::<Vec<_>>())
+    }
+}
+
+/// Fraction of the curve's total absolute change concentrated in its
+/// largest single jump: 1.0 = a pure step, ~1/(n-1) = a straight line.
+/// Returns 0.0 for constant or too-short curves.
+pub fn step_score(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let diffs: Vec<f64> = values.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+    let total: f64 = diffs.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    diffs.iter().fold(0.0f64, |a, &b| a.max(b)) / total
+}
+
+/// Runs a sweep: evaluates `measure` at each parameter value.
+pub fn explore(
+    name: impl Into<String>,
+    parameters: &[f64],
+    mut measure: impl FnMut(f64) -> f64,
+) -> DseSweep {
+    DseSweep {
+        name: name.into(),
+        points: parameters
+            .iter()
+            .map(|&p| DsePoint {
+                parameter: p,
+                metric: measure(p),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_step_scores_one() {
+        assert!((step_score(&[0.0, 0.0, 0.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straight_line_scores_low() {
+        let line: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        let s = step_score(&line);
+        assert!((s - 0.1).abs() < 1e-12, "line score {s}");
+    }
+
+    #[test]
+    fn degenerate_curves() {
+        assert_eq!(step_score(&[]), 0.0);
+        assert_eq!(step_score(&[1.0]), 0.0);
+        assert_eq!(step_score(&[2.0, 2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn explore_collects_points() {
+        let sweep = explore("square", &[1.0, 2.0, 3.0], |p| p * p);
+        assert_eq!(sweep.points.len(), 3);
+        assert_eq!(sweep.points[2].metric, 9.0);
+    }
+
+    #[test]
+    fn security_step_beats_area_curve() {
+        // a mock "security level vs effort" step and an "area vs effort"
+        // smooth curve — the security one must score much higher
+        let security = [0.0, 0.0, 0.0, 0.95, 0.97, 0.98];
+        let area: Vec<f64> = (0..6).map(|i| 100.0 + 12.0 * i as f64).collect();
+        assert!(step_score(&security) > 3.0 * step_score(&area));
+    }
+}

@@ -1,0 +1,214 @@
+//! The security-metric framework.
+//!
+//! Sec. IV of the paper: EDA is metrics-driven, but security metrics
+//! differ fundamentally from PPA — an intelligent attacker targets the
+//! worst case, not the average, so "unlikely but possible" events count,
+//! and many metrics behave like *step functions* of design effort.
+
+use crate::threat::ThreatVector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A measured metric value with its pass direction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Higher is better (e.g. fault-detection coverage).
+    HigherBetter {
+        /// Measured value.
+        value: f64,
+        /// Minimum acceptable value.
+        threshold: f64,
+    },
+    /// Lower is better (e.g. TVLA |t|, leaking-wire count).
+    LowerBetter {
+        /// Measured value.
+        value: f64,
+        /// Maximum acceptable value.
+        threshold: f64,
+    },
+}
+
+impl MetricValue {
+    /// Whether the metric meets its threshold.
+    pub fn passes(&self) -> bool {
+        match *self {
+            MetricValue::HigherBetter { value, threshold } => value >= threshold,
+            MetricValue::LowerBetter { value, threshold } => value <= threshold,
+        }
+    }
+
+    /// The raw measured value.
+    pub fn value(&self) -> f64 {
+        match *self {
+            MetricValue::HigherBetter { value, .. } | MetricValue::LowerBetter { value, .. } => {
+                value
+            }
+        }
+    }
+}
+
+/// Pass/fail with an explanation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The metric meets its threshold.
+    Pass,
+    /// The metric violates its threshold.
+    Fail,
+    /// The metric could not be evaluated for this design.
+    NotApplicable,
+}
+
+/// One evaluated security metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecurityMetric {
+    /// Short metric name (e.g. "first-order probing leaks").
+    pub name: String,
+    /// The threat vector it speaks to.
+    pub threat: ThreatVector,
+    /// The measurement.
+    pub value: MetricValue,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl SecurityMetric {
+    /// Builds a metric, deriving the verdict from the value.
+    pub fn new(name: impl Into<String>, threat: ThreatVector, value: MetricValue) -> Self {
+        SecurityMetric {
+            name: name.into(),
+            threat,
+            verdict: if value.passes() {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            value,
+        }
+    }
+}
+
+impl fmt::Display for SecurityMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} = {:.4} ({:?})",
+            self.threat,
+            self.name,
+            self.value.value(),
+            self.verdict
+        )
+    }
+}
+
+/// A full multi-threat evaluation of one design state.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SecurityReport {
+    /// Label of the design state (e.g. "after masking").
+    pub label: String,
+    /// All evaluated metrics.
+    pub metrics: Vec<SecurityMetric>,
+}
+
+impl SecurityReport {
+    /// Creates an empty report.
+    pub fn new(label: impl Into<String>) -> Self {
+        SecurityReport {
+            label: label.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Metrics for a specific threat.
+    pub fn for_threat(&self, threat: ThreatVector) -> Vec<&SecurityMetric> {
+        self.metrics.iter().filter(|m| m.threat == threat).collect()
+    }
+
+    /// `true` if every metric passes.
+    pub fn all_pass(&self) -> bool {
+        self.metrics.iter().all(|m| m.verdict != Verdict::Fail)
+    }
+
+    /// Metrics that regressed (pass → fail) relative to `baseline` —
+    /// the *negative cross-effect* detector of the composition engine.
+    pub fn regressions_from<'a>(&'a self, baseline: &SecurityReport) -> Vec<&'a SecurityMetric> {
+        self.metrics
+            .iter()
+            .filter(|m| {
+                m.verdict == Verdict::Fail
+                    && baseline
+                        .metrics
+                        .iter()
+                        .any(|b| b.name == m.name && b.verdict == Verdict::Pass)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_respect_direction() {
+        let cov = MetricValue::HigherBetter {
+            value: 0.99,
+            threshold: 0.95,
+        };
+        assert!(cov.passes());
+        let t = MetricValue::LowerBetter {
+            value: 7.2,
+            threshold: 4.5,
+        };
+        assert!(!t.passes());
+    }
+
+    #[test]
+    fn regressions_are_detected() {
+        let mut before = SecurityReport::new("masked");
+        before.metrics.push(SecurityMetric::new(
+            "probing leaks",
+            ThreatVector::SideChannel,
+            MetricValue::LowerBetter {
+                value: 0.0,
+                threshold: 0.0,
+            },
+        ));
+        let mut after = SecurityReport::new("masked+parity");
+        after.metrics.push(SecurityMetric::new(
+            "probing leaks",
+            ThreatVector::SideChannel,
+            MetricValue::LowerBetter {
+                value: 2.0,
+                threshold: 0.0,
+            },
+        ));
+        let regressions = after.regressions_from(&before);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "probing leaks");
+        assert!(!after.all_pass());
+        assert!(before.all_pass());
+    }
+
+    #[test]
+    fn for_threat_filters() {
+        let mut r = SecurityReport::new("x");
+        r.metrics.push(SecurityMetric::new(
+            "a",
+            ThreatVector::Trojan,
+            MetricValue::HigherBetter {
+                value: 1.0,
+                threshold: 0.0,
+            },
+        ));
+        r.metrics.push(SecurityMetric::new(
+            "b",
+            ThreatVector::Piracy,
+            MetricValue::HigherBetter {
+                value: 1.0,
+                threshold: 0.0,
+            },
+        ));
+        assert_eq!(r.for_threat(ThreatVector::Trojan).len(), 1);
+        assert_eq!(r.for_threat(ThreatVector::SideChannel).len(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Threat vectors and the roles of EDA (the paper's Table I).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four threat vectors of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ThreatVector {
+    /// Side-channel attacks (power, timing).
+    SideChannel,
+    /// Fault-injection attacks (laser, EM, glitching).
+    FaultInjection,
+    /// Piracy of design IP and counterfeiting of ICs.
+    Piracy,
+    /// Hardware Trojans.
+    Trojan,
+}
+
+impl ThreatVector {
+    /// All vectors in the paper's Table I order.
+    pub const ALL: [ThreatVector; 4] = [
+        ThreatVector::SideChannel,
+        ThreatVector::FaultInjection,
+        ThreatVector::Piracy,
+        ThreatVector::Trojan,
+    ];
+
+    /// When the attack takes place (Table I, column 2).
+    pub fn attack_time(self) -> &'static [AttackTime] {
+        match self {
+            ThreatVector::SideChannel | ThreatVector::FaultInjection => &[AttackTime::Runtime],
+            ThreatVector::Piracy => &[AttackTime::Manufacturing, AttackTime::InTheField],
+            ThreatVector::Trojan => &[AttackTime::Design, AttackTime::Manufacturing],
+        }
+    }
+
+    /// The roles EDA can play (Table I, column 3).
+    pub fn eda_roles(self) -> &'static [EdaRole] {
+        match self {
+            ThreatVector::SideChannel | ThreatVector::FaultInjection => {
+                &[EdaRole::Evaluation, EdaRole::MitigationAtDesignTime]
+            }
+            ThreatVector::Piracy => &[EdaRole::MitigationAtDesignTime],
+            ThreatVector::Trojan => &[
+                EdaRole::MitigationAtDesignTime,
+                EdaRole::VerificationAtDesignTime,
+                EdaRole::PreparingForTestingInspection,
+            ],
+        }
+    }
+}
+
+impl fmt::Display for ThreatVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ThreatVector::SideChannel => "side-channel attacks",
+            ThreatVector::FaultInjection => "fault-injection attacks",
+            ThreatVector::Piracy => "IP piracy / counterfeiting",
+            ThreatVector::Trojan => "hardware Trojans",
+        };
+        f.write_str(s)
+    }
+}
+
+/// When an attack happens in the IC life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackTime {
+    /// During design (e.g. malicious 3rd-party IP).
+    Design,
+    /// During manufacturing (untrusted foundry / test facility).
+    Manufacturing,
+    /// After deployment, by malicious end users.
+    InTheField,
+    /// While the device operates.
+    Runtime,
+}
+
+impl fmt::Display for AttackTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttackTime::Design => "design",
+            AttackTime::Manufacturing => "manufacturing",
+            AttackTime::InTheField => "in the field",
+            AttackTime::Runtime => "runtime",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What EDA tooling can contribute against a threat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdaRole {
+    /// Quantitative evaluation of the vulnerability at design time.
+    Evaluation,
+    /// Automated insertion of countermeasures at design time.
+    MitigationAtDesignTime,
+    /// Formal/functional verification of security properties.
+    VerificationAtDesignTime,
+    /// Preparing structures for post-silicon testing and inspection.
+    PreparingForTestingInspection,
+}
+
+impl fmt::Display for EdaRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EdaRole::Evaluation => "evaluation",
+            EdaRole::MitigationAtDesignTime => "mitigation at design time",
+            EdaRole::VerificationAtDesignTime => "verification at design time",
+            EdaRole::PreparingForTestingInspection => "preparing for testing/inspection",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_match_the_paper() {
+        assert_eq!(
+            ThreatVector::SideChannel.attack_time(),
+            &[AttackTime::Runtime]
+        );
+        assert_eq!(
+            ThreatVector::Piracy.attack_time(),
+            &[AttackTime::Manufacturing, AttackTime::InTheField]
+        );
+        assert!(ThreatVector::Trojan
+            .eda_roles()
+            .contains(&EdaRole::PreparingForTestingInspection));
+        assert!(ThreatVector::SideChannel
+            .eda_roles()
+            .contains(&EdaRole::Evaluation));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        for t in ThreatVector::ALL {
+            assert!(!t.to_string().is_empty());
+            for at in t.attack_time() {
+                assert!(!at.to_string().is_empty());
+            }
+            for r in t.eda_roles() {
+                assert!(!r.to_string().is_empty());
+            }
+        }
+    }
+}

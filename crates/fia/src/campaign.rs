@@ -1,0 +1,198 @@
+//! Fault campaigns: which faults an adversary (or nature) injects.
+//!
+//! The physical means the paper lists — laser pulses \[6\], EM pulses \[7\],
+//! clock/voltage glitches — are abstracted as distributions over
+//! [`Fault`]s: a laser hits a spatially contiguous group of nets, a
+//! clock glitch upsets timing-critical nets, radiation hits uniformly at
+//! random. The `seceda-layout` crate maps spatial regions to nets; here
+//! regions are expressed as net-index windows.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seceda_netlist::{NetId, Netlist};
+use seceda_sim::{Fault, FaultKind};
+
+/// How faults are generated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectionModel {
+    /// Laser-like: a contiguous window of `width` nets starting at a
+    /// random position; all nets in the window flip.
+    Laser {
+        /// Number of adjacent nets upset per shot.
+        width: usize,
+    },
+    /// Clock-glitch-like: the `count` nets with the deepest logic are
+    /// upset (longest paths miss timing first).
+    ClockGlitch {
+        /// Number of deepest nets to upset.
+        count: usize,
+    },
+    /// Uniform single-event upsets (natural radiation): one random net
+    /// per shot (primary inputs included).
+    Random,
+    /// Like [`InjectionModel::Random`] but restricted to gate outputs —
+    /// upsets inside the logic, never on the shared input wires (which
+    /// are a common-mode blind spot of duplication schemes).
+    RandomGate,
+    /// Targeted: the adversary aims at exactly these nets (the paper's
+    /// "unlikely but possible" strategic attacker of Sec. IV).
+    Targeted(Vec<NetId>),
+}
+
+/// A campaign: an injection model applied for a number of shots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCampaign {
+    /// The injection mechanism.
+    pub model: InjectionModel,
+    /// Number of shots (independent injections).
+    pub shots: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FaultCampaign {
+    /// Generates the fault set of every shot: `result[s]` holds the
+    /// simultaneous faults of shot `s`.
+    pub fn generate(&self, nl: &Netlist) -> Vec<Vec<Fault>> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let num_nets = nl.num_nets();
+        match &self.model {
+            InjectionModel::Laser { width } => (0..self.shots)
+                .map(|_| {
+                    let start = rng.gen_range(0..num_nets.saturating_sub(*width).max(1));
+                    (start..(start + width).min(num_nets))
+                        .map(|i| Fault {
+                            net: NetId::from_index(i),
+                            kind: FaultKind::BitFlip,
+                        })
+                        .collect()
+                })
+                .collect(),
+            InjectionModel::ClockGlitch { count } => {
+                // rank nets by logic depth (levels)
+                let order = nl.topo_order().expect("cyclic netlist");
+                let mut level = vec![0usize; num_nets];
+                for gid in order {
+                    let g = nl.gate(gid);
+                    let lv = g
+                        .inputs
+                        .iter()
+                        .map(|&i| level[i.index()])
+                        .max()
+                        .unwrap_or(0);
+                    level[g.output.index()] = lv + 1;
+                }
+                let mut ranked: Vec<usize> = (0..num_nets).collect();
+                ranked.sort_by_key(|&i| std::cmp::Reverse(level[i]));
+                let victims: Vec<Fault> = ranked
+                    .into_iter()
+                    .take(*count)
+                    .map(|i| Fault {
+                        net: NetId::from_index(i),
+                        kind: FaultKind::BitFlip,
+                    })
+                    .collect();
+                // every glitch shot upsets the same deepest nets
+                (0..self.shots).map(|_| victims.clone()).collect()
+            }
+            InjectionModel::Random => (0..self.shots)
+                .map(|_| {
+                    vec![Fault {
+                        net: NetId::from_index(rng.gen_range(0..num_nets)),
+                        kind: FaultKind::BitFlip,
+                    }]
+                })
+                .collect(),
+            InjectionModel::RandomGate => {
+                let gate_nets: Vec<NetId> = nl.gates().iter().map(|g| g.output).collect();
+                (0..self.shots)
+                    .map(|_| {
+                        vec![Fault {
+                            net: gate_nets[rng.gen_range(0..gate_nets.len())],
+                            kind: FaultKind::BitFlip,
+                        }]
+                    })
+                    .collect()
+            }
+            InjectionModel::Targeted(nets) => (0..self.shots)
+                .map(|_| {
+                    nets.iter()
+                        .map(|&n| Fault {
+                            net: n,
+                            kind: FaultKind::BitFlip,
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seceda_netlist::c17;
+
+    #[test]
+    fn laser_shots_are_contiguous() {
+        let nl = c17();
+        let campaign = FaultCampaign {
+            model: InjectionModel::Laser { width: 3 },
+            shots: 10,
+            seed: 5,
+        };
+        for shot in campaign.generate(&nl) {
+            assert!(shot.len() <= 3 && !shot.is_empty());
+            let idx: Vec<usize> = shot.iter().map(|f| f.net.index()).collect();
+            assert!(idx.windows(2).all(|w| w[1] == w[0] + 1));
+        }
+    }
+
+    #[test]
+    fn clock_glitch_hits_deepest_nets() {
+        let nl = c17();
+        let campaign = FaultCampaign {
+            model: InjectionModel::ClockGlitch { count: 2 },
+            shots: 3,
+            seed: 1,
+        };
+        let shots = campaign.generate(&nl);
+        assert_eq!(shots.len(), 3);
+        // the deepest nets in c17 are the output NANDs (level 3)
+        let outputs: Vec<usize> = nl.outputs().iter().map(|&(n, _)| n.index()).collect();
+        for shot in &shots {
+            for f in shot {
+                assert!(outputs.contains(&f.net.index()), "hit {:?}", f.net);
+            }
+        }
+    }
+
+    #[test]
+    fn random_shots_single_fault() {
+        let nl = c17();
+        let campaign = FaultCampaign {
+            model: InjectionModel::Random,
+            shots: 20,
+            seed: 2,
+        };
+        let shots = campaign.generate(&nl);
+        assert!(shots.iter().all(|s| s.len() == 1));
+        // determinism
+        assert_eq!(shots, campaign.generate(&nl));
+    }
+
+    #[test]
+    fn targeted_hits_exactly() {
+        let nl = c17();
+        let target = nl.outputs()[0].0;
+        let campaign = FaultCampaign {
+            model: InjectionModel::Targeted(vec![target]),
+            shots: 2,
+            seed: 3,
+        };
+        for shot in campaign.generate(&nl) {
+            assert_eq!(shot.len(), 1);
+            assert_eq!(shot[0].net, target);
+        }
+    }
+}

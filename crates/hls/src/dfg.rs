@@ -1,0 +1,350 @@
+//! Dataflow-graph IR with executable semantics.
+
+use std::fmt;
+
+/// Identifier of a DFG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Operations of the dataflow graph. All values are `u16` words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// External input; `secret` marks confidential data (keys, PIN).
+    Input {
+        /// Port name.
+        name: String,
+        /// Confidentiality label.
+        secret: bool,
+    },
+    /// Fresh uniform randomness (one value per execution).
+    Random,
+    /// Compile-time constant.
+    Const(u16),
+    /// Wrapping addition.
+    Add,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise NOT.
+    Not,
+    /// Observable output.
+    Output(String),
+}
+
+impl Op {
+    /// Expected argument count (`usize::MAX` = checked elsewhere).
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Input { .. } | Op::Random | Op::Const(_) => 0,
+            Op::Not | Op::Output(_) => 1,
+            _ => 2,
+        }
+    }
+
+    /// The functional-unit class executing this op (None = free).
+    pub fn fu_class(&self) -> Option<&'static str> {
+        match self {
+            Op::Add => Some("adder"),
+            Op::Mul => Some("multiplier"),
+            Op::Xor | Op::And | Op::Or | Op::Not => Some("logic"),
+            _ => None,
+        }
+    }
+}
+
+/// A node: an operation plus its argument nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The operation.
+    pub op: Op,
+    /// Argument nodes, in order.
+    pub args: Vec<NodeId>,
+}
+
+/// A dataflow graph. Nodes are added in topological order (arguments
+/// must exist before use), which the builder enforces.
+///
+/// # Example
+///
+/// ```
+/// use seceda_hls::{Dfg, Op};
+///
+/// let mut dfg = Dfg::new("mac");
+/// let a = dfg.input("a", false);
+/// let b = dfg.input("b", false);
+/// let p = dfg.node(Op::Mul, &[a, b]);
+/// dfg.output("y", p);
+/// assert_eq!(dfg.run(&[(String::from("a"), 3), (String::from("b"), 7)], 0)[0].1, 21);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfg {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl Dfg {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dfg {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or dangling arguments.
+    pub fn node(&mut self, op: Op, args: &[NodeId]) -> NodeId {
+        assert_eq!(args.len(), op.arity(), "arity mismatch for {op:?}");
+        for a in args {
+            assert!(a.index() < self.nodes.len(), "argument {a} out of range");
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            op,
+            args: args.to_vec(),
+        });
+        id
+    }
+
+    /// Convenience: adds an input.
+    pub fn input(&mut self, name: impl Into<String>, secret: bool) -> NodeId {
+        self.node(
+            Op::Input {
+                name: name.into(),
+                secret,
+            },
+            &[],
+        )
+    }
+
+    /// Convenience: adds an output of `value`.
+    pub fn output(&mut self, name: impl Into<String>, value: NodeId) -> NodeId {
+        self.node(Op::Output(name.into()), &[value])
+    }
+
+    /// All nodes, indexable by [`NodeId::index`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of all output nodes, in creation order.
+    pub fn outputs(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| matches!(self.nodes[i].op, Op::Output(_)))
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Per-node consumer lists.
+    pub fn users(&self) -> Vec<Vec<NodeId>> {
+        let mut users = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for a in &n.args {
+                users[a.index()].push(NodeId(i as u32));
+            }
+        }
+        users
+    }
+
+    /// Number of `Random` nodes in the graph.
+    pub fn num_randoms(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Random))
+            .count()
+    }
+
+    /// Executes the graph with explicit randomness: `randoms[k]` is the
+    /// value of the k-th `Random` node (in creation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input port is missing or `randoms` is too short.
+    pub fn run_with_randoms(
+        &self,
+        inputs: &[(String, u16)],
+        randoms: &[u16],
+    ) -> Vec<(String, u16)> {
+        let mut cursor = 0usize;
+        let mut next_random = move |supplied: &[u16]| -> u16 {
+            let v = supplied[cursor];
+            cursor += 1;
+            v
+        };
+        let mut values = vec![0u16; self.nodes.len()];
+        let mut outputs = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let arg = |k: usize| values[n.args[k].index()];
+            values[i] = match &n.op {
+                Op::Input { name, .. } => {
+                    inputs
+                        .iter()
+                        .find(|(p, _)| p == name)
+                        .unwrap_or_else(|| panic!("missing input `{name}`"))
+                        .1
+                }
+                Op::Random => next_random(randoms),
+                Op::Const(c) => *c,
+                Op::Add => arg(0).wrapping_add(arg(1)),
+                Op::Mul => arg(0).wrapping_mul(arg(1)),
+                Op::Xor => arg(0) ^ arg(1),
+                Op::And => arg(0) & arg(1),
+                Op::Or => arg(0) | arg(1),
+                Op::Not => !arg(0),
+                Op::Output(name) => {
+                    let v = arg(0);
+                    outputs.push((name.clone(), v));
+                    v
+                }
+            };
+        }
+        outputs
+    }
+
+    /// Executes the graph: `inputs` maps port names to values,
+    /// `random_seed` drives the `Random` nodes deterministically.
+    /// Returns `(output name, value)` pairs in output order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input port is missing.
+    pub fn run(&self, inputs: &[(String, u16)], random_seed: u64) -> Vec<(String, u16)> {
+        let mut state = random_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next_random = move || -> u16 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u16
+        };
+        let mut values = vec![0u16; self.nodes.len()];
+        let mut outputs = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let arg = |k: usize| values[n.args[k].index()];
+            values[i] = match &n.op {
+                Op::Input { name, .. } => {
+                    inputs
+                        .iter()
+                        .find(|(p, _)| p == name)
+                        .unwrap_or_else(|| panic!("missing input `{name}`"))
+                        .1
+                }
+                Op::Random => next_random(),
+                Op::Const(c) => *c,
+                Op::Add => arg(0).wrapping_add(arg(1)),
+                Op::Mul => arg(0).wrapping_mul(arg(1)),
+                Op::Xor => arg(0) ^ arg(1),
+                Op::And => arg(0) & arg(1),
+                Op::Or => arg(0) | arg(1),
+                Op::Not => !arg(0),
+                Op::Output(name) => {
+                    let v = arg(0);
+                    outputs.push((name.clone(), v));
+                    v
+                }
+            };
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> Dfg {
+        let mut dfg = Dfg::new("mac");
+        let a = dfg.input("a", false);
+        let b = dfg.input("b", false);
+        let c = dfg.input("c", false);
+        let p = dfg.node(Op::Mul, &[a, b]);
+        let s = dfg.node(Op::Add, &[p, c]);
+        dfg.output("y", s);
+        dfg
+    }
+
+    #[test]
+    fn executes_arithmetic() {
+        let dfg = mac();
+        let out = dfg.run(
+            &[
+                ("a".into(), 3),
+                ("b".into(), 7),
+                ("c".into(), 100),
+            ],
+            0,
+        );
+        assert_eq!(out, vec![("y".into(), 121)]);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let mut dfg = Dfg::new("r");
+        let r = dfg.node(Op::Random, &[]);
+        dfg.output("y", r);
+        let a = dfg.run(&[], 42);
+        let b = dfg.run(&[], 42);
+        let c = dfg.run(&[], 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn users_and_outputs() {
+        let dfg = mac();
+        let users = dfg.users();
+        // input a is used once (by the Mul)
+        assert_eq!(users[0].len(), 1);
+        assert_eq!(dfg.outputs().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_enforced() {
+        let mut dfg = Dfg::new("x");
+        let a = dfg.input("a", false);
+        dfg.node(Op::Add, &[a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing input")]
+    fn missing_input_detected() {
+        let dfg = mac();
+        dfg.run(&[("a".into(), 1)], 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Scheduling and allocation.
+
+use crate::dfg::{Dfg, NodeId};
+use std::collections::BTreeMap;
+
+/// A schedule: control step (cycle) per node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Cycle per node, indexed by [`NodeId::index`].
+    pub cycle: Vec<u32>,
+}
+
+impl Schedule {
+    /// Total latency (last used cycle + 1); 0 for empty graphs.
+    pub fn latency(&self) -> u32 {
+        self.cycle.iter().max().map(|&c| c + 1).unwrap_or(0)
+    }
+
+    /// Nodes scheduled in `cycle`.
+    pub fn nodes_in_cycle(&self, cycle: u32) -> Vec<NodeId> {
+        self.cycle
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == cycle)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+/// As-soon-as-possible schedule: every node one cycle after its latest
+/// argument (sources at cycle 0).
+pub fn asap(dfg: &Dfg) -> Schedule {
+    let mut cycle = vec![0u32; dfg.len()];
+    for (i, n) in dfg.nodes().iter().enumerate() {
+        let ready = n
+            .args
+            .iter()
+            .map(|a| cycle[a.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        cycle[i] = ready;
+    }
+    Schedule { cycle }
+}
+
+/// As-late-as-possible schedule for a given latency bound.
+///
+/// # Panics
+///
+/// Panics if `latency` is smaller than the ASAP latency.
+pub fn alap(dfg: &Dfg, latency: u32) -> Schedule {
+    let asap_sched = asap(dfg);
+    assert!(
+        latency >= asap_sched.latency(),
+        "latency bound below critical path"
+    );
+    let users = dfg.users();
+    let mut cycle = vec![latency - 1; dfg.len()];
+    for i in (0..dfg.len()).rev() {
+        let deadline = users[i]
+            .iter()
+            .map(|u| cycle[u.index()].saturating_sub(1))
+            .min()
+            .unwrap_or(latency - 1);
+        cycle[i] = deadline;
+    }
+    Schedule { cycle }
+}
+
+/// Allocation results for a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Functional units needed per class (peak concurrency).
+    pub functional_units: BTreeMap<String, usize>,
+    /// Registers needed (peak number of values alive across a cycle
+    /// boundary).
+    pub registers: usize,
+    /// Idle FU slots: per class, `units * latency - ops` (the dead space
+    /// BISA-style self-authentication fills).
+    pub idle_slots: BTreeMap<String, usize>,
+}
+
+/// Resource-constrained list scheduling: at most `limits[class]` ops of
+/// each FU class per cycle (classes absent from `limits` are unlimited).
+pub fn list_schedule(dfg: &Dfg, limits: &BTreeMap<String, usize>) -> Schedule {
+    let mut cycle = vec![0u32; dfg.len()];
+    let mut usage: BTreeMap<(String, u32), usize> = BTreeMap::new();
+    for (i, n) in dfg.nodes().iter().enumerate() {
+        let ready = n
+            .args
+            .iter()
+            .map(|a| cycle[a.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        let mut c = ready;
+        if let Some(class) = n.op.fu_class() {
+            if let Some(&limit) = limits.get(class) {
+                while usage
+                    .get(&(class.to_string(), c))
+                    .copied()
+                    .unwrap_or(0)
+                    >= limit
+                {
+                    c += 1;
+                }
+                *usage.entry((class.to_string(), c)).or_insert(0) += 1;
+            }
+        }
+        cycle[i] = c;
+    }
+    Schedule { cycle }
+}
+
+/// Computes the allocation implied by a schedule.
+pub fn allocate(dfg: &Dfg, schedule: &Schedule) -> Allocation {
+    let latency = schedule.latency().max(1);
+    // peak FU concurrency per class
+    let mut per_cycle: BTreeMap<(String, u32), usize> = BTreeMap::new();
+    let mut op_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, n) in dfg.nodes().iter().enumerate() {
+        if let Some(class) = n.op.fu_class() {
+            *per_cycle
+                .entry((class.to_string(), schedule.cycle[i]))
+                .or_insert(0) += 1;
+            *op_counts.entry(class.to_string()).or_insert(0) += 1;
+        }
+    }
+    let mut functional_units: BTreeMap<String, usize> = BTreeMap::new();
+    for ((class, _), &count) in &per_cycle {
+        let e = functional_units.entry(class.clone()).or_insert(0);
+        if count > *e {
+            *e = count;
+        }
+    }
+    // registers: values alive across each cycle boundary
+    let users = dfg.users();
+    let mut registers = 0usize;
+    for boundary in 0..latency {
+        let alive = (0..dfg.len())
+            .filter(|&i| {
+                let born = schedule.cycle[i];
+                let last_use = users[i]
+                    .iter()
+                    .map(|u| schedule.cycle[u.index()])
+                    .max()
+                    .unwrap_or(born);
+                born <= boundary && last_use > boundary
+            })
+            .count();
+        registers = registers.max(alive);
+    }
+    let idle_slots: BTreeMap<String, usize> = functional_units
+        .iter()
+        .map(|(class, &units)| {
+            let used = op_counts.get(class).copied().unwrap_or(0);
+            (class.clone(), units * latency as usize - used)
+        })
+        .collect();
+    Allocation {
+        functional_units,
+        registers,
+        idle_slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::Op;
+
+    /// Four parallel multiplies feeding an add tree.
+    fn workload() -> Dfg {
+        let mut dfg = Dfg::new("w");
+        let ins: Vec<_> = (0..8).map(|i| dfg.input(format!("i{i}"), false)).collect();
+        let m: Vec<_> = (0..4)
+            .map(|k| dfg.node(Op::Mul, &[ins[2 * k], ins[2 * k + 1]]))
+            .collect();
+        let a1 = dfg.node(Op::Add, &[m[0], m[1]]);
+        let a2 = dfg.node(Op::Add, &[m[2], m[3]]);
+        let s = dfg.node(Op::Add, &[a1, a2]);
+        dfg.output("y", s);
+        dfg
+    }
+
+    #[test]
+    fn asap_respects_dependencies() {
+        let dfg = workload();
+        let s = asap(&dfg);
+        for (i, n) in dfg.nodes().iter().enumerate() {
+            for a in &n.args {
+                assert!(s.cycle[i] > s.cycle[a.index()]);
+            }
+        }
+        assert_eq!(s.latency(), 5); // in(0) mul(1) add(2) add(3) out(4)
+    }
+
+    #[test]
+    fn alap_meets_deadline_and_dependencies() {
+        let dfg = workload();
+        let s = alap(&dfg, 6);
+        assert!(s.latency() <= 6);
+        for (i, n) in dfg.nodes().iter().enumerate() {
+            for a in &n.args {
+                assert!(s.cycle[i] > s.cycle[a.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn resource_limits_stretch_latency() {
+        let dfg = workload();
+        let unlimited = list_schedule(&dfg, &BTreeMap::new());
+        let mut limits = BTreeMap::new();
+        limits.insert("multiplier".to_string(), 1usize);
+        let constrained = list_schedule(&dfg, &limits);
+        assert!(constrained.latency() > unlimited.latency());
+        // at most one multiply per cycle
+        for c in 0..constrained.latency() {
+            let muls = constrained
+                .nodes_in_cycle(c)
+                .iter()
+                .filter(|n| matches!(dfg.nodes()[n.index()].op, Op::Mul))
+                .count();
+            assert!(muls <= 1);
+        }
+    }
+
+    #[test]
+    fn allocation_counts_units_and_registers() {
+        let dfg = workload();
+        let s = asap(&dfg);
+        let alloc = allocate(&dfg, &s);
+        assert_eq!(alloc.functional_units["multiplier"], 4);
+        assert!(alloc.registers >= 2);
+        let mut limits = BTreeMap::new();
+        limits.insert("multiplier".to_string(), 1usize);
+        let constrained = list_schedule(&dfg, &limits);
+        let alloc2 = allocate(&dfg, &constrained);
+        assert_eq!(alloc2.functional_units["multiplier"], 1);
+    }
+
+    #[test]
+    fn idle_slots_accounted() {
+        let dfg = workload();
+        let s = asap(&dfg);
+        let alloc = allocate(&dfg, &s);
+        // 4 multipliers over latency 5 = 20 slots, 4 used -> 16 idle
+        assert_eq!(alloc.idle_slots["multiplier"], 16);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for HLS scheduling and IFT.
+
+use proptest::prelude::*;
+use seceda_hls::{alap, asap, list_schedule, taint_analysis, Dfg, Op};
+use std::collections::BTreeMap;
+
+/// Builds a random layered DFG from a spec of (op_selector, arg_a, arg_b).
+fn build_dfg(spec: &[(u8, usize, usize)]) -> Dfg {
+    let mut dfg = Dfg::new("p");
+    let mut nodes = vec![
+        dfg.input("k", true),
+        dfg.input("x", false),
+        dfg.input("y", false),
+    ];
+    for &(op_sel, a, b) in spec {
+        let a = nodes[a % nodes.len()];
+        let b = nodes[b % nodes.len()];
+        let n = match op_sel % 5 {
+            0 => dfg.node(Op::Add, &[a, b]),
+            1 => dfg.node(Op::Mul, &[a, b]),
+            2 => dfg.node(Op::Xor, &[a, b]),
+            3 => dfg.node(Op::And, &[a, b]),
+            _ => dfg.node(Op::Not, &[a]),
+        };
+        nodes.push(n);
+    }
+    let last = *nodes.last().expect("non-empty");
+    dfg.output("out", last);
+    dfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schedules_respect_dependencies(
+        spec in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..25),
+    ) {
+        let dfg = build_dfg(&spec);
+        let a = asap(&dfg);
+        for (i, n) in dfg.nodes().iter().enumerate() {
+            for arg in &n.args {
+                prop_assert!(a.cycle[i] > a.cycle[arg.index()]);
+            }
+        }
+        let l = alap(&dfg, a.latency() + 3);
+        prop_assert!(l.latency() <= a.latency() + 3);
+        for (i, n) in dfg.nodes().iter().enumerate() {
+            for arg in &n.args {
+                prop_assert!(l.cycle[i] > l.cycle[arg.index()]);
+            }
+        }
+        // asap is a lower bound on any legal schedule
+        for i in 0..dfg.len() {
+            prop_assert!(a.cycle[i] <= l.cycle[i]);
+        }
+    }
+
+    #[test]
+    fn resource_limits_are_never_violated(
+        spec in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..25),
+        mul_limit in 1usize..3,
+    ) {
+        let dfg = build_dfg(&spec);
+        let mut limits = BTreeMap::new();
+        limits.insert("multiplier".to_string(), mul_limit);
+        let s = list_schedule(&dfg, &limits);
+        for c in 0..s.latency() {
+            let muls = s
+                .nodes_in_cycle(c)
+                .iter()
+                .filter(|n| matches!(dfg.nodes()[n.index()].op, Op::Mul))
+                .count();
+            prop_assert!(muls <= mul_limit);
+        }
+    }
+
+    #[test]
+    fn taint_is_monotone_along_dataflow(
+        spec in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..25),
+    ) {
+        // without Random nodes there is no declassification, so taint can
+        // only grow along edges
+        let dfg = build_dfg(&spec);
+        let report = taint_analysis(&dfg);
+        for n in dfg.nodes() {
+            let out_tainted = {
+                let idx = dfg
+                    .nodes()
+                    .iter()
+                    .position(|m| std::ptr::eq(m, n))
+                    .expect("self");
+                report.tainted[idx]
+            };
+            for arg in &n.args {
+                if report.tainted[arg.index()] {
+                    prop_assert!(out_tainted, "taint must propagate");
+                }
+            }
+        }
+    }
+}

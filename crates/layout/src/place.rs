@@ -1,0 +1,264 @@
+//! Grid placement by simulated annealing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seceda_netlist::Netlist;
+
+/// A placed design: one grid cell per gate, primary inputs on the west
+/// edge, primary outputs on the east edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Grid width (x dimension).
+    pub width: u32,
+    /// Grid height (y dimension).
+    pub height: u32,
+    /// Gate positions, indexed by gate index.
+    pub gate_pos: Vec<(u32, u32)>,
+    /// Primary-input pad positions, indexed by input order.
+    pub input_pos: Vec<(u32, u32)>,
+    /// Primary-output pad positions, indexed by output order.
+    pub output_pos: Vec<(u32, u32)>,
+    /// Final half-perimeter wirelength.
+    pub hpwl: f64,
+}
+
+/// Annealing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementConfig {
+    /// Swap moves per temperature step.
+    pub moves_per_step: usize,
+    /// Number of temperature steps.
+    pub steps: usize,
+    /// Initial temperature (in HPWL units).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per step.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            moves_per_step: 200,
+            steps: 60,
+            initial_temperature: 10.0,
+            cooling: 0.9,
+            seed: 0x91AC_E5,
+        }
+    }
+}
+
+/// Pin location of a net endpoint: the driving gate, a PI pad, or
+/// unplaced (constant drivers sit at the origin).
+fn net_source_pos(
+    nl: &Netlist,
+    placement_gate_pos: &[(u32, u32)],
+    input_pos: &[(u32, u32)],
+    net: seceda_netlist::NetId,
+) -> (u32, u32) {
+    if let Some(drv) = nl.net(net).driver {
+        return placement_gate_pos[drv.index()];
+    }
+    if let Some(k) = nl.inputs().iter().position(|&p| p == net) {
+        return input_pos[k];
+    }
+    (0, 0)
+}
+
+/// Computes total HPWL of all nets under the given gate positions.
+pub(crate) fn total_hpwl(
+    nl: &Netlist,
+    gate_pos: &[(u32, u32)],
+    input_pos: &[(u32, u32)],
+    output_pos: &[(u32, u32)],
+) -> f64 {
+    let mut total = 0.0;
+    // bounding box per net, extended by source, gate sinks, and PO pads
+    let mut bbox: Vec<Option<(u32, u32, u32, u32)>> = vec![None; nl.num_nets()];
+    let extend = |bbox: &mut Vec<Option<(u32, u32, u32, u32)>>, net: usize, p: (u32, u32)| {
+        let entry = &mut bbox[net];
+        *entry = Some(match *entry {
+            None => (p.0, p.0, p.1, p.1),
+            Some((lx, hx, ly, hy)) => (lx.min(p.0), hx.max(p.0), ly.min(p.1), hy.max(p.1)),
+        });
+    };
+    let mut has_sink = vec![false; nl.num_nets()];
+    for (gi, g) in nl.gates().iter().enumerate() {
+        for &inp in &g.inputs {
+            extend(&mut bbox, inp.index(), gate_pos[gi]);
+            has_sink[inp.index()] = true;
+        }
+    }
+    for (k, &(n, _)) in nl.outputs().iter().enumerate() {
+        extend(&mut bbox, n.index(), output_pos[k]);
+        has_sink[n.index()] = true;
+    }
+    for net_idx in 0..nl.num_nets() {
+        if !has_sink[net_idx] {
+            continue;
+        }
+        let net = seceda_netlist::NetId::from_index(net_idx);
+        let src = net_source_pos(nl, gate_pos, input_pos, net);
+        extend(&mut bbox, net_idx, src);
+        if let Some((lx, hx, ly, hy)) = bbox[net_idx] {
+            total += (hx - lx) as f64 + (hy - ly) as f64;
+        }
+    }
+    total
+}
+
+/// Places `nl` on a square grid, minimizing HPWL with simulated
+/// annealing.
+///
+/// # Panics
+///
+/// Panics if the netlist has no gates.
+pub fn place(nl: &Netlist, config: &PlacementConfig) -> Placement {
+    let n = nl.num_gates();
+    assert!(n > 0, "cannot place an empty netlist");
+    let side = (n as f64).sqrt().ceil() as u32;
+    let width = side.max(2);
+    let height = side.max(2);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // initial placement: row-major
+    let mut gate_pos: Vec<(u32, u32)> = (0..n as u32)
+        .map(|i| (i % width, i / width))
+        .collect();
+    let input_pos: Vec<(u32, u32)> = (0..nl.inputs().len())
+        .map(|k| (0, (k as u32 * height.max(1)) / nl.inputs().len().max(1) as u32))
+        .collect();
+    let output_pos: Vec<(u32, u32)> = (0..nl.outputs().len())
+        .map(|k| {
+            (
+                width.saturating_sub(1),
+                (k as u32 * height.max(1)) / nl.outputs().len().max(1) as u32,
+            )
+        })
+        .collect();
+
+    let mut cost = total_hpwl(nl, &gate_pos, &input_pos, &output_pos);
+    let mut temperature = config.initial_temperature;
+    for _ in 0..config.steps {
+        for _ in 0..config.moves_per_step {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            gate_pos.swap(a, b);
+            let new_cost = total_hpwl(nl, &gate_pos, &input_pos, &output_pos);
+            let delta = new_cost - cost;
+            if delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().clamp(0.0, 1.0)) {
+                cost = new_cost;
+            } else {
+                gate_pos.swap(a, b); // revert
+            }
+        }
+        temperature *= config.cooling;
+    }
+    Placement {
+        width,
+        height,
+        gate_pos,
+        input_pos,
+        output_pos,
+        hpwl: cost,
+    }
+}
+
+/// The placement-perturbation defense \[54\]: each gate is moved by a
+/// uniform offset in `[-radius, radius]²` (clamped to the grid),
+/// deliberately destroying the placement locality the proximity attack
+/// feeds on. Returns the perturbed placement with its (worse) HPWL.
+pub fn perturb_placement(
+    nl: &Netlist,
+    placement: &Placement,
+    radius: u32,
+    seed: u64,
+) -> Placement {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perturbed = placement.clone();
+    let r = radius as i64;
+    for pos in &mut perturbed.gate_pos {
+        let dx = rng.gen_range(-r..=r);
+        let dy = rng.gen_range(-r..=r);
+        pos.0 = (pos.0 as i64 + dx).clamp(0, placement.width as i64 - 1) as u32;
+        pos.1 = (pos.1 as i64 + dy).clamp(0, placement.height as i64 - 1) as u32;
+    }
+    perturbed.hpwl = total_hpwl(
+        nl,
+        &perturbed.gate_pos,
+        &perturbed.input_pos,
+        &perturbed.output_pos,
+    );
+    perturbed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seceda_netlist::{c17, random_circuit, RandomCircuitConfig};
+
+    #[test]
+    fn placement_covers_all_gates() {
+        let nl = c17();
+        let p = place(&nl, &PlacementConfig::default());
+        assert_eq!(p.gate_pos.len(), nl.num_gates());
+        assert!(p
+            .gate_pos
+            .iter()
+            .all(|&(x, y)| x < p.width && y < p.height));
+        assert!(p.hpwl > 0.0);
+    }
+
+    #[test]
+    fn annealing_improves_over_initial() {
+        let nl = random_circuit(&RandomCircuitConfig {
+            num_gates: 80,
+            num_inputs: 8,
+            num_outputs: 4,
+            ..RandomCircuitConfig::default()
+        });
+        let quick = place(
+            &nl,
+            &PlacementConfig {
+                steps: 0,
+                ..PlacementConfig::default()
+            },
+        );
+        let full = place(&nl, &PlacementConfig::default());
+        assert!(
+            full.hpwl < quick.hpwl,
+            "annealing should beat row-major: {} vs {}",
+            full.hpwl,
+            quick.hpwl
+        );
+    }
+
+    #[test]
+    fn perturbation_degrades_wirelength() {
+        let nl = random_circuit(&RandomCircuitConfig {
+            num_gates: 80,
+            num_inputs: 8,
+            num_outputs: 4,
+            ..RandomCircuitConfig::default()
+        });
+        let p = place(&nl, &PlacementConfig::default());
+        let q = perturb_placement(&nl, &p, 4, 77);
+        assert!(q.hpwl > p.hpwl, "perturbation costs wirelength");
+        assert!(q
+            .gate_pos
+            .iter()
+            .all(|&(x, y)| x < q.width && y < q.height));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let nl = c17();
+        let a = place(&nl, &PlacementConfig::default());
+        let b = place(&nl, &PlacementConfig::default());
+        assert_eq!(a, b);
+    }
+}

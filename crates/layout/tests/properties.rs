@@ -1,0 +1,84 @@
+//! Property-based tests for the physical-design model.
+
+use proptest::prelude::*;
+use seceda_layout::{
+    lift_wires, place, proximity_attack, route, split_at, timing_report, PlacementConfig,
+    RouteConfig,
+};
+use seceda_netlist::{random_circuit, DepthReport, RandomCircuitConfig};
+
+fn workload(seed: u64, gates: usize) -> seceda_netlist::Netlist {
+    random_circuit(&RandomCircuitConfig {
+        num_inputs: 6,
+        num_gates: gates,
+        num_outputs: 4,
+        with_xor: true,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn placement_is_always_on_grid(seed in 0u64..2000, gates in 5usize..60) {
+        let nl = workload(seed, gates);
+        let p = place(&nl, &PlacementConfig {
+            steps: 10,
+            moves_per_step: 40,
+            ..PlacementConfig::default()
+        });
+        prop_assert_eq!(p.gate_pos.len(), nl.num_gates());
+        prop_assert!(p.gate_pos.iter().all(|&(x, y)| x < p.width && y < p.height));
+        prop_assert!(p.hpwl >= 0.0);
+    }
+
+    #[test]
+    fn routing_and_split_are_conservative(seed in 0u64..2000, gates in 5usize..60, layer in 1u8..8) {
+        let nl = workload(seed, gates);
+        let p = place(&nl, &PlacementConfig {
+            steps: 5,
+            moves_per_step: 30,
+            ..PlacementConfig::default()
+        });
+        let r = route(&nl, &p, &RouteConfig::default());
+        let view = split_at(&r, layer);
+        prop_assert_eq!(view.visible.len() + view.hidden.len(), r.wires.len());
+        // CCR is a probability
+        let attack = proximity_attack(&nl, &view);
+        prop_assert!((0.0..=1.0).contains(&attack.ccr));
+        prop_assert!(attack.correct <= view.hidden.len());
+    }
+
+    #[test]
+    fn lifting_only_raises_layers(seed in 0u64..2000, gates in 5usize..40) {
+        let nl = workload(seed, gates);
+        let p = place(&nl, &PlacementConfig {
+            steps: 5,
+            moves_per_step: 30,
+            ..PlacementConfig::default()
+        });
+        let r = route(&nl, &p, &RouteConfig::default());
+        let nets: Vec<_> = nl.gates().iter().take(5).map(|g| g.output).collect();
+        let (lifted, extra) = lift_wires(&r, &nets, 6);
+        prop_assert_eq!(lifted.wires.len(), r.wires.len());
+        for (a, b) in r.wires.iter().zip(&lifted.wires) {
+            prop_assert!(b.layer >= a.layer);
+        }
+        prop_assert_eq!(lifted.total_length, r.total_length + extra);
+    }
+
+    #[test]
+    fn wire_delays_never_speed_up_the_design(seed in 0u64..2000, gates in 5usize..40) {
+        let nl = workload(seed, gates);
+        let p = place(&nl, &PlacementConfig {
+            steps: 5,
+            moves_per_step: 30,
+            ..PlacementConfig::default()
+        });
+        let r = route(&nl, &p, &RouteConfig::default());
+        let with_wires = timing_report(&nl, &r);
+        let gates_only = DepthReport::of(&nl);
+        prop_assert!(with_wires.critical_path >= gates_only.critical_path - 1e-9);
+    }
+}

@@ -1,0 +1,34 @@
+//! # seceda-lock
+//!
+//! Design-IP protection and its adversaries — the piracy column of
+//! Table II.
+//!
+//! * [`xor_lock`] / [`mux_lock`] — EPIC-style combinational logic
+//!   locking \[24\]: key gates inserted at netlist granularity, tagged so
+//!   security-aware synthesis never optimizes them away;
+//! * [`sfll_hd0`] — stripped-functionality logic locking (SFLL-HD with
+//!   h = 0): provably resilient against naive SAT attacks at the price
+//!   of one protected input pattern \[51\];
+//! * [`sat_attack`](mod@sat_attack) — the oracle-guided SAT attack \[33\]: iteratively
+//!   finds distinguishing input patterns until only functionally correct
+//!   keys remain. This is "verification mimicking the attacker"
+//!   (Sec. III-D of the paper);
+//! * [`camouflage`](mod@camouflage) — IC camouflaging \[23\] modeled as ambiguous cells,
+//!   plus de-camouflaging via the same SAT machinery;
+//! * [`metrics`] — output-corruption metrics for locked designs;
+//! * [`watermark`] — topological watermarking, with a robustness check
+//!   that shows classical (security-unaware) optimization strips the
+//!   mark while tag-honoring synthesis preserves it.
+
+pub mod camouflage;
+pub mod metrics;
+pub mod sat_attack;
+pub mod watermark;
+
+mod locking;
+
+pub use camouflage::{camouflage, decamouflage, CamouflagedNetlist};
+pub use locking::{mux_lock, sfll_hd0, xor_lock, LockedNetlist};
+pub use metrics::{output_corruption, CorruptionReport};
+pub use sat_attack::{sat_attack, SatAttackResult};
+pub use watermark::{embed_watermark, verify_watermark, Watermark};

@@ -1,0 +1,113 @@
+//! Security metrics for locked designs.
+
+use crate::locking::LockedNetlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Output-corruption statistics of a locked design under wrong keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptionReport {
+    /// Average fraction of output bits flipped by a random wrong key
+    /// (0.5 is the ideal avalanche behaviour).
+    pub avg_output_corruption: f64,
+    /// Fraction of sampled wrong keys that corrupt at least one output
+    /// for at least one sampled input (wrong keys that corrupt nothing
+    /// are functionally correct duplicates — a locking weakness).
+    pub effective_key_fraction: f64,
+    /// Number of wrong keys sampled.
+    pub keys_sampled: usize,
+    /// Number of inputs sampled per key.
+    pub inputs_sampled: usize,
+}
+
+/// Estimates output corruption under random wrong keys and random
+/// functional inputs.
+///
+/// # Panics
+///
+/// Panics if sample counts are zero.
+pub fn output_corruption(
+    locked: &LockedNetlist,
+    keys: usize,
+    inputs_per_key: usize,
+    seed: u64,
+) -> CorruptionReport {
+    assert!(keys > 0 && inputs_per_key > 0, "need non-zero samples");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nx = locked.num_original_inputs;
+    let nk = locked.key_width();
+    let mut total_fraction = 0.0;
+    let mut effective = 0usize;
+    let mut samples = 0usize;
+    for _ in 0..keys {
+        let mut key: Vec<bool> = (0..nk).map(|_| rng.gen()).collect();
+        if key == locked.correct_key {
+            // force a wrong key
+            key[0] = !key[0];
+        }
+        let mut corrupts = false;
+        for _ in 0..inputs_per_key {
+            let inputs: Vec<bool> = (0..nx).map(|_| rng.gen()).collect();
+            let good = locked.evaluate_with_key(&inputs, &locked.correct_key);
+            let bad = locked.evaluate_with_key(&inputs, &key);
+            let flipped = good.iter().zip(&bad).filter(|(a, b)| a != b).count();
+            total_fraction += flipped as f64 / good.len().max(1) as f64;
+            samples += 1;
+            if flipped > 0 {
+                corrupts = true;
+            }
+        }
+        if corrupts {
+            effective += 1;
+        }
+    }
+    CorruptionReport {
+        avg_output_corruption: total_fraction / samples as f64,
+        effective_key_fraction: effective as f64 / keys as f64,
+        keys_sampled: keys,
+        inputs_sampled: inputs_per_key,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locking::{sfll_hd0, xor_lock};
+    use seceda_netlist::c17;
+
+    #[test]
+    fn xor_locking_corrupts_broadly() {
+        let locked = xor_lock(&c17(), 8, 31);
+        let report = output_corruption(&locked, 30, 30, 32);
+        assert!(
+            report.avg_output_corruption > 0.1,
+            "XOR locking should visibly corrupt: {report:?}"
+        );
+        assert!(
+            report.effective_key_fraction > 0.8,
+            "most wrong keys must matter: {report:?}"
+        );
+    }
+
+    #[test]
+    fn sfll_corrupts_rarely_by_design() {
+        // SFLL trades output corruption for SAT resilience: a wrong key
+        // corrupts only two input cubes out of 2^n
+        let locked = sfll_hd0(&c17(), &[true, true, false, false, true]);
+        let report = output_corruption(&locked, 30, 30, 33);
+        assert!(
+            report.avg_output_corruption < 0.2,
+            "SFLL corruption must be sparse: {report:?}"
+        );
+    }
+
+    #[test]
+    fn report_totals_consistent() {
+        let locked = xor_lock(&c17(), 4, 35);
+        let report = output_corruption(&locked, 5, 7, 36);
+        assert_eq!(report.keys_sampled, 5);
+        assert_eq!(report.inputs_sampled, 7);
+        assert!(report.effective_key_fraction <= 1.0);
+        assert!(report.avg_output_corruption <= 1.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The oracle-guided SAT attack on logic locking \[33\].
+//!
+//! The attacker holds the locked netlist (reverse-engineered from layout)
+//! and black-box access to an activated chip (the *oracle*). Each
+//! iteration asks the solver for a *distinguishing input pattern* (DIP) —
+//! an input on which two different keys produce different outputs — and
+//! queries the oracle on it. The oracle response rules out at least one
+//! equivalence class of wrong keys. When no DIP remains, any surviving
+//! key is functionally correct.
+
+use crate::locking::LockedNetlist;
+use seceda_netlist::NetlistError;
+use seceda_sat::{encode_netlist, Cnf, Lit, SatResult, Solver};
+
+/// Outcome of a SAT attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SatAttackResult {
+    /// A functionally correct key (may differ from the designer's key
+    /// bit-for-bit while producing identical behaviour).
+    pub key: Vec<bool>,
+    /// Number of DIP iterations (equals oracle queries).
+    pub iterations: usize,
+    /// Total solver conflicts across all iterations, a proxy for attack
+    /// effort.
+    pub conflicts: u64,
+}
+
+/// Builds the attack CNF: two copies of the locked circuit sharing X but
+/// with independent keys, plus one constrained copy per recorded
+/// (input, output) oracle observation for each key. Returns
+/// `(cnf, x_vars, k1_vars, k2_vars, diff_lit)`.
+#[allow(clippy::type_complexity)]
+fn build_attack_cnf(
+    locked: &LockedNetlist,
+    observations: &[(Vec<bool>, Vec<bool>)],
+) -> Result<
+    (
+        Cnf,
+        Vec<seceda_sat::Var>,
+        Vec<seceda_sat::Var>,
+        Vec<seceda_sat::Var>,
+        Lit,
+    ),
+    NetlistError,
+> {
+    let nl = &locked.netlist;
+    let nx = locked.num_original_inputs;
+    let nk = locked.key_width();
+    let mut cnf = Cnf::new();
+    let enc1 = encode_netlist(nl, &mut cnf)?;
+    let enc2 = encode_netlist(nl, &mut cnf)?;
+    // share functional inputs
+    for i in 0..nx {
+        cnf.gate_buf(enc1.input_vars[i].pos(), enc2.input_vars[i].pos());
+    }
+    // diff literal over outputs
+    let mut diffs = Vec::new();
+    for (o1, o2) in enc1.output_vars.iter().zip(&enc2.output_vars) {
+        let d = cnf.new_var().pos();
+        cnf.gate_xor(d, o1.pos(), o2.pos());
+        diffs.push(d);
+    }
+    let diff = cnf.new_var().pos();
+    for &d in &diffs {
+        cnf.add_clause([diff, !d]);
+    }
+    let mut big = diffs;
+    big.push(!diff);
+    cnf.add_clause(big);
+
+    let k1: Vec<_> = enc1.input_vars[nx..nx + nk].to_vec();
+    let k2: Vec<_> = enc2.input_vars[nx..nx + nk].to_vec();
+
+    // each observation constrains both keys via fresh circuit copies
+    for (x_hat, y_hat) in observations {
+        for key_vars in [&k1, &k2] {
+            let enc = encode_netlist(nl, &mut cnf)?;
+            for (i, &xv) in x_hat.iter().enumerate() {
+                cnf.add_clause([enc.input_vars[i].lit(xv)]);
+            }
+            for (j, kv) in key_vars.iter().enumerate() {
+                cnf.gate_buf(enc.input_vars[nx + j].pos(), kv.pos());
+            }
+            for (o, &yv) in enc.output_vars.iter().zip(y_hat) {
+                cnf.add_clause([o.lit(yv)]);
+            }
+        }
+    }
+    let x_vars = enc1.input_vars[..nx].to_vec();
+    Ok((cnf, x_vars, k1, k2, diff))
+}
+
+/// Runs the SAT attack against `locked`, using `oracle` as the activated
+/// chip (a function from functional inputs to outputs).
+///
+/// Returns a functionally correct key, or `None` if even the final
+/// key-extraction step is unsatisfiable (cannot happen for consistently
+/// locked designs).
+///
+/// # Errors
+///
+/// Propagates encoding errors (cyclic netlists).
+pub fn sat_attack(
+    locked: &LockedNetlist,
+    oracle: impl Fn(&[bool]) -> Vec<bool>,
+) -> Result<Option<SatAttackResult>, NetlistError> {
+    let mut observations: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+    let mut iterations = 0usize;
+    let mut conflicts = 0u64;
+    loop {
+        let (cnf, x_vars, _, _, diff) = build_attack_cnf(locked, &observations)?;
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve_with_assumptions(&[diff]) {
+            SatResult::Sat(model) => {
+                conflicts += solver.num_conflicts;
+                iterations += 1;
+                let x_hat: Vec<bool> = x_vars.iter().map(|v| model[v.index()]).collect();
+                let y_hat = oracle(&x_hat);
+                observations.push((x_hat, y_hat));
+            }
+            SatResult::Unsat => {
+                conflicts += solver.num_conflicts;
+                // no DIP left: extract any key satisfying all observations
+                let (cnf, _, k1, _, _) = build_attack_cnf(locked, &observations)?;
+                let mut solver = Solver::from_cnf(&cnf);
+                return Ok(match solver.solve() {
+                    SatResult::Sat(model) => Some(SatAttackResult {
+                        key: k1.iter().map(|v| model[v.index()]).collect(),
+                        iterations,
+                        conflicts,
+                    }),
+                    SatResult::Unsat => None,
+                });
+            }
+        }
+        assert!(
+            iterations <= 1 << 16,
+            "SAT attack runaway: too many iterations"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locking::{mux_lock, sfll_hd0, xor_lock};
+    use seceda_netlist::{c17, majority};
+
+    fn check_attack_recovers_function(locked: &LockedNetlist, original: &seceda_netlist::Netlist) {
+        let oracle = |x: &[bool]| original.evaluate(x);
+        let result = sat_attack(locked, oracle)
+            .expect("attack runs")
+            .expect("key found");
+        // recovered key must be functionally correct on every input
+        let n = locked.num_original_inputs;
+        for pattern in 0..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|b| (pattern >> b) & 1 == 1).collect();
+            assert_eq!(
+                locked.evaluate_with_key(&inputs, &result.key),
+                original.evaluate(&inputs),
+                "recovered key wrong on {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn breaks_xor_locking_on_c17() {
+        let nl = c17();
+        let locked = xor_lock(&nl, 8, 7);
+        check_attack_recovers_function(&locked, &nl);
+    }
+
+    #[test]
+    fn breaks_mux_locking_on_majority() {
+        let nl = majority();
+        let locked = mux_lock(&nl, 4, 9);
+        check_attack_recovers_function(&locked, &nl);
+    }
+
+    #[test]
+    fn sfll_requires_many_more_queries() {
+        // SFLL-HD0's resilience: each DIP rules out only the keys equal
+        // to that DIP, so the attack needs ~2^n oracle queries, versus a
+        // handful for XOR locking.
+        let nl = c17();
+        let xor = xor_lock(&nl, 8, 11);
+        let sfll = sfll_hd0(&nl, &[true, false, true, false, true]);
+        let oracle = |x: &[bool]| nl.evaluate(x);
+        let xr = sat_attack(&xor, oracle)
+            .expect("runs")
+            .expect("key");
+        let sr = sat_attack(&sfll, oracle)
+            .expect("runs")
+            .expect("key");
+        assert!(
+            sr.iterations > 4 * xr.iterations.max(1),
+            "SFLL must cost far more queries: sfll {} vs xor {}",
+            sr.iterations,
+            xr.iterations
+        );
+        // and the SFLL iteration count approaches the input-space size
+        assert!(
+            sr.iterations >= 12,
+            "SFLL-HD0 on 5 inputs needs on the order of 2^5 queries, got {}",
+            sr.iterations
+        );
+    }
+
+    #[test]
+    fn attack_effort_grows_with_key_width() {
+        let nl = c17();
+        let small = xor_lock(&nl, 2, 21);
+        let large = xor_lock(&nl, 16, 22);
+        let oracle = |x: &[bool]| nl.evaluate(x);
+        let rs = sat_attack(&small, oracle).expect("runs").expect("key");
+        let rl = sat_attack(&large, oracle).expect("runs").expect("key");
+        // more key gates mean at least as many (usually more) iterations
+        assert!(rl.iterations >= rs.iterations);
+    }
+}

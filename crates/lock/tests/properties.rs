@@ -1,0 +1,73 @@
+//! Property-based tests for logic locking.
+
+use proptest::prelude::*;
+use seceda_lock::{mux_lock, sfll_hd0, xor_lock};
+use seceda_netlist::{random_circuit, RandomCircuitConfig};
+
+fn host(seed: u64, gates: usize) -> seceda_netlist::Netlist {
+    random_circuit(&RandomCircuitConfig {
+        num_inputs: 5,
+        num_gates: gates,
+        num_outputs: 3,
+        with_xor: true,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn xor_lock_correct_key_restores(seed in 0u64..3000, gates in 3usize..40, bits in 1usize..12) {
+        let nl = host(seed, gates);
+        let locked = xor_lock(&nl, bits, seed ^ 0xAA);
+        prop_assert!(locked.netlist.validate().is_ok());
+        for pattern in 0..32u32 {
+            let inputs: Vec<bool> = (0..5).map(|b| (pattern >> b) & 1 == 1).collect();
+            prop_assert_eq!(
+                locked.evaluate_with_key(&inputs, &locked.correct_key),
+                nl.evaluate(&inputs)
+            );
+        }
+    }
+
+    #[test]
+    fn mux_lock_correct_key_restores_and_is_acyclic(
+        seed in 0u64..3000,
+        gates in 3usize..40,
+        bits in 1usize..8,
+    ) {
+        let nl = host(seed, gates);
+        let locked = mux_lock(&nl, bits, seed ^ 0xBB);
+        prop_assert!(locked.netlist.validate().is_ok(), "mux locking must never build cycles");
+        for pattern in 0..32u32 {
+            let inputs: Vec<bool> = (0..5).map(|b| (pattern >> b) & 1 == 1).collect();
+            prop_assert_eq!(
+                locked.evaluate_with_key(&inputs, &locked.correct_key),
+                nl.evaluate(&inputs)
+            );
+        }
+    }
+
+    #[test]
+    fn sfll_wrong_key_corrupts_exactly_two_cubes(
+        seed in 0u64..2000,
+        gates in 3usize..25,
+        pattern_bits in 0u32..32,
+        wrong_bits in 0u32..32,
+    ) {
+        prop_assume!(pattern_bits != wrong_bits);
+        let nl = host(seed, gates);
+        let pattern: Vec<bool> = (0..5).map(|b| (pattern_bits >> b) & 1 == 1).collect();
+        let wrong: Vec<bool> = (0..5).map(|b| (wrong_bits >> b) & 1 == 1).collect();
+        let locked = sfll_hd0(&nl, &pattern);
+        let mut diffs = 0usize;
+        for p in 0..32u32 {
+            let inputs: Vec<bool> = (0..5).map(|b| (p >> b) & 1 == 1).collect();
+            if locked.evaluate_with_key(&inputs, &wrong) != nl.evaluate(&inputs) {
+                diffs += 1;
+            }
+        }
+        prop_assert_eq!(diffs, 2, "SFLL-HD0 corrupts the protected and the key cube only");
+    }
+}

@@ -1,0 +1,180 @@
+//! Built-in benchmark circuits used as workloads across the toolkit.
+
+use crate::build::Word;
+use crate::cell::CellKind;
+use crate::netlist::Netlist;
+
+/// The ISCAS-85 c17 benchmark: 5 inputs, 2 outputs, 6 NAND gates.
+///
+/// The smallest standard benchmark in the test literature; used by the
+/// ATPG and locking examples.
+pub fn c17() -> Netlist {
+    let mut nl = Netlist::new("c17");
+    let g1 = nl.add_input("G1");
+    let g2 = nl.add_input("G2");
+    let g3 = nl.add_input("G3");
+    let g6 = nl.add_input("G6");
+    let g7 = nl.add_input("G7");
+    let g10 = nl.add_gate(CellKind::Nand, &[g1, g3]);
+    let g11 = nl.add_gate(CellKind::Nand, &[g3, g6]);
+    let g16 = nl.add_gate(CellKind::Nand, &[g2, g11]);
+    let g19 = nl.add_gate(CellKind::Nand, &[g11, g7]);
+    let g22 = nl.add_gate(CellKind::Nand, &[g10, g16]);
+    let g23 = nl.add_gate(CellKind::Nand, &[g16, g19]);
+    nl.mark_output(g22, "G22");
+    nl.mark_output(g23, "G23");
+    nl
+}
+
+/// N-bit ripple-carry adder: inputs `a[width]`, `b[width]`; output
+/// `s[width]` (sum modulo 2^width).
+pub fn ripple_adder(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("adder{width}"));
+    let a = Word::input(&mut nl, "a", width);
+    let b = Word::input(&mut nl, "b", width);
+    let s = a.add(&mut nl, &b);
+    s.mark_output(&mut nl, "s");
+    nl
+}
+
+/// N-bit equality comparator: output `eq = (a == b)`.
+pub fn comparator(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("cmp{width}"));
+    let a = Word::input(&mut nl, "a", width);
+    let b = Word::input(&mut nl, "b", width);
+    let e = a.eq(&mut nl, &b);
+    nl.mark_output(e, "eq");
+    nl
+}
+
+/// N-input parity tree built from 2-input XORs (balanced).
+pub fn parity_tree(width: usize) -> Netlist {
+    assert!(width >= 2, "parity tree needs at least two inputs");
+    let mut nl = Netlist::new(format!("parity{width}"));
+    let mut layer: Vec<_> = (0..width).map(|i| nl.add_input(format!("a[{i}]"))).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(nl.add_gate(CellKind::Xor, &[pair[0], pair[1]]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    nl.mark_output(layer[0], "p");
+    nl
+}
+
+/// 3-input majority gate (the carry function): `maj = ab | ac | bc`.
+pub fn majority() -> Netlist {
+    let mut nl = Netlist::new("maj3");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let c = nl.add_input("c");
+    let ab = nl.add_gate(CellKind::And, &[a, b]);
+    let ac = nl.add_gate(CellKind::And, &[a, c]);
+    let bc = nl.add_gate(CellKind::And, &[b, c]);
+    let m = nl.add_gate(CellKind::Or, &[ab, ac, bc]);
+    nl.mark_output(m, "maj");
+    nl
+}
+
+/// A small ALU slice: inputs `a[width]`, `b[width]`, `op\[2\]`; output
+/// `y[width]` computing per `op`: 0 = add, 1 = and, 2 = or, 3 = xor.
+pub fn alu_slice(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("alu{width}"));
+    let a = Word::input(&mut nl, "a", width);
+    let b = Word::input(&mut nl, "b", width);
+    let op0 = nl.add_input("op[0]");
+    let op1 = nl.add_input("op[1]");
+    let sum = a.add(&mut nl, &b);
+    let conj = a.and(&mut nl, &b);
+    let disj = a.or(&mut nl, &b);
+    let xor = a.xor(&mut nl, &b);
+    // select: op1 chooses between (sum,and) and (or,xor); op0 within pair
+    let lo = sum.mux(&mut nl, &conj, op0);
+    let hi = disj.mux(&mut nl, &xor, op0);
+    let y = lo.mux(&mut nl, &hi, op1);
+    y.mark_output(&mut nl, "y");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{bits_to_u64, u64_to_bits};
+
+    #[test]
+    fn c17_shape() {
+        let nl = c17();
+        assert_eq!(nl.inputs().len(), 5);
+        assert_eq!(nl.outputs().len(), 2);
+        assert_eq!(nl.num_gates(), 6);
+        assert_eq!(nl.validate(), Ok(()));
+    }
+
+    #[test]
+    fn c17_known_vector() {
+        let nl = c17();
+        // all-zero inputs: G10=G11=G16=G19=1, G22=nand(1,1)=0, G23=0
+        assert_eq!(nl.evaluate(&[false; 5]), vec![false, false]);
+        // all-one inputs: G10=0,G11=0,G16=1,G19=1,G22=1,G23=0
+        assert_eq!(nl.evaluate(&[true; 5]), vec![true, false]);
+    }
+
+    #[test]
+    fn adder_works() {
+        let nl = ripple_adder(6);
+        let mut inputs = u64_to_bits(23, 6);
+        inputs.extend(u64_to_bits(40, 6));
+        assert_eq!(bits_to_u64(&nl.evaluate(&inputs)), 63);
+    }
+
+    #[test]
+    fn comparator_works() {
+        let nl = comparator(4);
+        let mut eq = u64_to_bits(9, 4);
+        eq.extend(u64_to_bits(9, 4));
+        assert!(nl.evaluate(&eq)[0]);
+        let mut ne = u64_to_bits(9, 4);
+        ne.extend(u64_to_bits(8, 4));
+        assert!(!nl.evaluate(&ne)[0]);
+    }
+
+    #[test]
+    fn parity_tree_matches_popcount() {
+        let nl = parity_tree(7);
+        for v in [0u64, 1, 0b1010101, 0b1111111, 0b0110110] {
+            let expect = (v.count_ones() % 2) == 1;
+            assert_eq!(nl.evaluate(&u64_to_bits(v, 7))[0], expect, "v={v:b}");
+        }
+    }
+
+    #[test]
+    fn majority_truth_table() {
+        let nl = majority();
+        let tt = nl.truth_table();
+        let expect = [false, false, false, true, false, true, true, true];
+        for (i, row) in tt.iter().enumerate() {
+            assert_eq!(row[0], expect[i], "pattern {i}");
+        }
+    }
+
+    #[test]
+    fn alu_all_ops() {
+        let nl = alu_slice(4);
+        let run = |a: u64, b: u64, op: u64| -> u64 {
+            let mut inputs = u64_to_bits(a, 4);
+            inputs.extend(u64_to_bits(b, 4));
+            inputs.push(op & 1 == 1);
+            inputs.push(op & 2 == 2);
+            bits_to_u64(&nl.evaluate(&inputs))
+        };
+        assert_eq!(run(5, 9, 0), (5 + 9) & 0xf);
+        assert_eq!(run(0b1100, 0b1010, 1), 0b1000);
+        assert_eq!(run(0b1100, 0b1010, 2), 0b1110);
+        assert_eq!(run(0b1100, 0b1010, 3), 0b0110);
+    }
+}

@@ -1,0 +1,284 @@
+//! Cell library: the gate kinds understood by the whole toolkit.
+
+use crate::id::NetId;
+use std::fmt;
+
+/// The kind of a gate instance.
+///
+/// All combinational kinds except [`CellKind::Mux`] accept an arbitrary
+/// number of inputs (≥1 for `Buf`/`Not`, ≥2 for the others); technology
+/// mapping in `seceda-synth` decomposes wide gates into 2-input cells.
+/// [`CellKind::Dff`] is the single sequential element: one data input,
+/// sampled on the (implicit) global clock edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellKind {
+    /// Constant logic 0 (no inputs).
+    Const0,
+    /// Constant logic 1 (no inputs).
+    Const1,
+    /// Buffer: output equals its single input.
+    Buf,
+    /// Inverter.
+    Not,
+    /// N-ary AND.
+    And,
+    /// N-ary NAND.
+    Nand,
+    /// N-ary OR.
+    Or,
+    /// N-ary NOR.
+    Nor,
+    /// N-ary XOR (odd parity).
+    Xor,
+    /// N-ary XNOR (even parity).
+    Xnor,
+    /// 2:1 multiplexer; inputs are `[sel, a, b]`, output is `sel ? b : a`.
+    Mux,
+    /// D flip-flop; input `[d]`, output is the registered value.
+    Dff,
+}
+
+impl CellKind {
+    /// All cell kinds, in a stable order (useful for histograms).
+    pub const ALL: [CellKind; 12] = [
+        CellKind::Const0,
+        CellKind::Const1,
+        CellKind::Buf,
+        CellKind::Not,
+        CellKind::And,
+        CellKind::Nand,
+        CellKind::Or,
+        CellKind::Nor,
+        CellKind::Xor,
+        CellKind::Xnor,
+        CellKind::Mux,
+        CellKind::Dff,
+    ];
+
+    /// Returns `true` for the D flip-flop.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff)
+    }
+
+    /// Returns the valid input arity range `(min, max)` for this kind,
+    /// where `max == usize::MAX` means unbounded.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            CellKind::Const0 | CellKind::Const1 => (0, 0),
+            CellKind::Buf | CellKind::Not | CellKind::Dff => (1, 1),
+            CellKind::Mux => (3, 3),
+            _ => (2, usize::MAX),
+        }
+    }
+
+    /// Evaluates the cell function over `inputs`.
+    ///
+    /// For [`CellKind::Dff`] this returns the data input (the "next state"
+    /// function); sequential timing is the simulator's responsibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` violates [`CellKind::arity`].
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        let (lo, hi) = self.arity();
+        assert!(
+            inputs.len() >= lo && inputs.len() <= hi,
+            "{self} expects between {lo} and {hi} inputs, got {}",
+            inputs.len()
+        );
+        match self {
+            CellKind::Const0 => false,
+            CellKind::Const1 => true,
+            CellKind::Buf | CellKind::Dff => inputs[0],
+            CellKind::Not => !inputs[0],
+            CellKind::And => inputs.iter().all(|&x| x),
+            CellKind::Nand => !inputs.iter().all(|&x| x),
+            CellKind::Or => inputs.iter().any(|&x| x),
+            CellKind::Nor => !inputs.iter().any(|&x| x),
+            CellKind::Xor => inputs.iter().fold(false, |acc, &x| acc ^ x),
+            CellKind::Xnor => !inputs.iter().fold(false, |acc, &x| acc ^ x),
+            CellKind::Mux => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+        }
+    }
+
+    /// Area of a 2-input instance in gate equivalents (1 GE = one NAND2).
+    ///
+    /// N-ary instances are costed as a tree of 2-input cells by
+    /// [`crate::NetlistStats`].
+    pub fn area_ge(self) -> f64 {
+        match self {
+            CellKind::Const0 | CellKind::Const1 => 0.0,
+            CellKind::Buf => 0.5,
+            CellKind::Not => 0.5,
+            CellKind::And | CellKind::Or => 1.5,
+            CellKind::Nand | CellKind::Nor => 1.0,
+            CellKind::Xor | CellKind::Xnor => 2.5,
+            CellKind::Mux => 2.5,
+            CellKind::Dff => 6.0,
+        }
+    }
+
+    /// Nominal propagation delay of a 2-input instance, in arbitrary
+    /// delay units (1.0 = one NAND2 delay).
+    pub fn delay(self) -> f64 {
+        match self {
+            CellKind::Const0 | CellKind::Const1 => 0.0,
+            CellKind::Buf => 0.5,
+            CellKind::Not => 0.5,
+            CellKind::Nand | CellKind::Nor => 1.0,
+            CellKind::And | CellKind::Or => 1.5,
+            CellKind::Xor | CellKind::Xnor => 2.0,
+            CellKind::Mux => 2.0,
+            CellKind::Dff => 1.0,
+        }
+    }
+
+    /// Parses the text-format mnemonic produced by [`fmt::Display`].
+    pub fn from_mnemonic(s: &str) -> Option<CellKind> {
+        Some(match s {
+            "const0" => CellKind::Const0,
+            "const1" => CellKind::Const1,
+            "buf" => CellKind::Buf,
+            "not" => CellKind::Not,
+            "and" => CellKind::And,
+            "nand" => CellKind::Nand,
+            "or" => CellKind::Or,
+            "nor" => CellKind::Nor,
+            "xor" => CellKind::Xor,
+            "xnor" => CellKind::Xnor,
+            "mux" => CellKind::Mux,
+            "dff" => CellKind::Dff,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellKind::Const0 => "const0",
+            CellKind::Const1 => "const1",
+            CellKind::Buf => "buf",
+            CellKind::Not => "not",
+            CellKind::And => "and",
+            CellKind::Nand => "nand",
+            CellKind::Or => "or",
+            CellKind::Nor => "nor",
+            CellKind::Xor => "xor",
+            CellKind::Xnor => "xnor",
+            CellKind::Mux => "mux",
+            CellKind::Dff => "dff",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Security-relevant markers attached to a gate by analysis and
+/// countermeasure passes.
+///
+/// Classical EDA has no such notion; `seceda` passes use these tags to
+/// communicate constraints (e.g. [`GateTags::no_reassoc`] is the ordering
+/// barrier that keeps private-circuit XOR trees intact — see Fig. 2 of the
+/// paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct GateTags {
+    /// Synthesis must not re-associate or merge this gate with its
+    /// neighbours (ordering barrier for masking schemes).
+    pub no_reassoc: bool,
+    /// This gate was inserted by a logic-locking pass (key gate).
+    pub key_gate: bool,
+    /// This gate is part of a security monitor / sensor and must survive
+    /// optimization.
+    pub monitor: bool,
+    /// This gate carries a secret-dependent signal (taint from IFT).
+    pub tainted: bool,
+    /// This gate belongs to redundancy inserted by an FIA countermeasure.
+    pub redundancy: bool,
+}
+
+impl GateTags {
+    /// Tags with every marker cleared (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if the gate must not be touched by optimization.
+    pub fn is_protected(&self) -> bool {
+        self.no_reassoc || self.key_gate || self.monitor || self.redundancy
+    }
+}
+
+/// A gate instance: a cell kind, its input nets, and its output net.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Gate {
+    /// The cell function.
+    pub kind: CellKind,
+    /// Input nets, in positional order (see [`CellKind`] for semantics).
+    pub inputs: Vec<NetId>,
+    /// The single output net driven by this gate.
+    pub output: NetId,
+    /// Security markers.
+    pub tags: GateTags,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        assert!(!CellKind::And.eval(&[true, false]));
+        assert!(CellKind::And.eval(&[true, true, true]));
+        assert!(CellKind::Nand.eval(&[true, false]));
+        assert!(CellKind::Or.eval(&[false, true]));
+        assert!(!CellKind::Nor.eval(&[false, true]));
+        assert!(CellKind::Xor.eval(&[true, true, true]));
+        assert!(!CellKind::Xor.eval(&[true, true]));
+        assert!(CellKind::Xnor.eval(&[true, true]));
+        assert!(!CellKind::Not.eval(&[true]));
+        assert!(CellKind::Buf.eval(&[true]));
+        assert!(!CellKind::Const0.eval(&[]));
+        assert!(CellKind::Const1.eval(&[]));
+    }
+
+    #[test]
+    fn mux_selects() {
+        // inputs = [sel, a, b]; sel ? b : a
+        assert!(!CellKind::Mux.eval(&[false, false, true]));
+        assert!(CellKind::Mux.eval(&[true, false, true]));
+        assert!(CellKind::Mux.eval(&[false, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects between")]
+    fn arity_checked() {
+        CellKind::And.eval(&[true]);
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for kind in CellKind::ALL {
+            assert_eq!(CellKind::from_mnemonic(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(CellKind::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn protected_tags() {
+        let mut tags = GateTags::new();
+        assert!(!tags.is_protected());
+        tags.no_reassoc = true;
+        assert!(tags.is_protected());
+        let tags = GateTags {
+            monitor: true,
+            ..GateTags::default()
+        };
+        assert!(tags.is_protected());
+    }
+}

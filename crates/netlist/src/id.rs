@@ -1,0 +1,71 @@
+//! Typed identifiers for nets and gates.
+
+use std::fmt;
+
+/// Identifier of a net (a single-bit signal) within a [`crate::Netlist`].
+///
+/// `NetId`s are dense indices assigned in creation order; they are only
+/// meaningful relative to the netlist that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a gate instance within a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the dense index of this net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a dense index.
+    ///
+    /// Intended for code that stores per-net side tables; passing an index
+    /// that does not belong to the owning netlist yields an id that will
+    /// panic on use.
+    pub fn from_index(index: usize) -> Self {
+        NetId(u32::try_from(index).expect("net index overflow"))
+    }
+}
+
+impl GateId {
+    /// Returns the dense index of this gate.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `GateId` from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        GateId(u32::try_from(index).expect("gate index overflow"))
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        assert_eq!(NetId::from_index(7).index(), 7);
+        assert_eq!(GateId::from_index(0).index(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NetId::from_index(3).to_string(), "n3");
+        assert_eq!(GateId::from_index(11).to_string(), "g11");
+    }
+}

@@ -1,0 +1,45 @@
+//! # seceda-netlist
+//!
+//! Gate-level netlist intermediate representation for the `seceda`
+//! security-centric EDA toolkit.
+//!
+//! This crate provides the foundational data structure every other `seceda`
+//! crate operates on: a flat, gate-level [`Netlist`] with named primary
+//! inputs/outputs, combinational cells, and D flip-flops. It also ships
+//! word-level construction helpers ([`Word`]), a structural text format,
+//! a seeded random circuit generator, and a set of built-in benchmark
+//! circuits (ISCAS c17, ripple adders, comparators, ALU slices) used as
+//! workloads throughout the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use seceda_netlist::{Netlist, CellKind};
+//!
+//! let mut nl = Netlist::new("toy");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let y = nl.add_gate(CellKind::Xor, &[a, b]);
+//! nl.mark_output(y, "y");
+//! assert_eq!(nl.evaluate(&[true, false]), vec![true]);
+//! ```
+
+mod bench_circuits;
+mod build;
+mod cell;
+mod error;
+mod id;
+mod netlist;
+mod random;
+mod stats;
+mod text;
+
+pub use bench_circuits::{alu_slice, c17, comparator, majority, parity_tree, ripple_adder};
+pub use build::{bits_to_u64, u64_to_bits, Word};
+pub use cell::{CellKind, Gate, GateTags};
+pub use error::NetlistError;
+pub use id::{GateId, NetId};
+pub use netlist::{Net, Netlist};
+pub use random::{random_circuit, RandomCircuitConfig};
+pub use stats::{DepthReport, NetlistStats};
+pub use text::{format_netlist, parse_netlist};

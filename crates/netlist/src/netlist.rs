@@ -1,0 +1,604 @@
+//! The [`Netlist`] container and its construction / query / evaluation API.
+
+use crate::cell::{CellKind, Gate, GateTags};
+use crate::error::NetlistError;
+use crate::id::{GateId, NetId};
+
+/// A single-bit signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Optional user-facing name (primary ports always have one).
+    pub name: Option<String>,
+    /// The gate driving this net, if any. Primary inputs and dangling nets
+    /// have no driver.
+    pub driver: Option<GateId>,
+}
+
+/// A flat gate-level netlist.
+///
+/// The netlist owns a dense array of [`Net`]s and [`Gate`]s. Primary inputs
+/// are nets without drivers registered via [`Netlist::add_input`]; primary
+/// outputs are (net, name) pairs registered via [`Netlist::mark_output`].
+/// The same net may be marked as several outputs and an input may directly
+/// be an output.
+///
+/// # Example
+///
+/// ```
+/// use seceda_netlist::{Netlist, CellKind};
+///
+/// let mut nl = Netlist::new("half_adder");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let sum = nl.add_gate(CellKind::Xor, &[a, b]);
+/// let carry = nl.add_gate(CellKind::And, &[a, b]);
+/// nl.mark_output(sum, "sum");
+/// nl.mark_output(carry, "carry");
+/// assert_eq!(nl.evaluate(&[true, true]), vec![false, true]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<(NetId, String)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nets: Vec::new(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds a fresh, undriven, unnamed net and returns its id.
+    pub fn add_net(&mut self) -> NetId {
+        let id = NetId::from_index(self.nets.len());
+        self.nets.push(Net {
+            name: None,
+            driver: None,
+        });
+        id
+    }
+
+    /// Adds a fresh named net (undriven) and returns its id.
+    pub fn add_named_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.add_net();
+        self.nets[id.index()].name = Some(name.into());
+        id
+    }
+
+    /// Declares a new primary input with the given port name.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.add_named_net(name);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a gate of `kind` reading `inputs`, creating and returning its
+    /// output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs violates the cell's arity or if an
+    /// input id is out of range.
+    pub fn add_gate(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
+        self.add_gate_tagged(kind, inputs, GateTags::default())
+    }
+
+    /// Like [`Netlist::add_gate`] but attaches security tags to the gate.
+    pub fn add_gate_tagged(&mut self, kind: CellKind, inputs: &[NetId], tags: GateTags) -> NetId {
+        let (lo, hi) = kind.arity();
+        assert!(
+            inputs.len() >= lo && inputs.len() <= hi,
+            "cell {kind} cannot take {} inputs",
+            inputs.len()
+        );
+        for &i in inputs {
+            assert!(i.index() < self.nets.len(), "input {i} out of range");
+        }
+        let output = self.add_net();
+        let gid = GateId::from_index(self.gates.len());
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            tags,
+        });
+        self.nets[output.index()].driver = Some(gid);
+        output
+    }
+
+    /// Registers `net` as a primary output under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn mark_output(&mut self, net: NetId, name: impl Into<String>) {
+        assert!(net.index() < self.nets.len(), "output {net} out of range");
+        self.outputs.push((net, name.into()));
+    }
+
+    /// Removes all primary-output markings (used by passes that rebuild the
+    /// output interface).
+    pub fn clear_outputs(&mut self) {
+        self.outputs.clear();
+    }
+
+    /// Primary input nets in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as (net, port name) pairs in declaration order.
+    pub fn outputs(&self) -> &[(NetId, String)] {
+        &self.outputs
+    }
+
+    /// Primary output nets in declaration order.
+    pub fn output_nets(&self) -> Vec<NetId> {
+        self.outputs.iter().map(|&(n, _)| n).collect()
+    }
+
+    /// All gates, indexable by [`GateId::index`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All nets, indexable by [`NetId::index`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Mutable access to a gate (used by rewiring passes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn gate_mut(&mut self, id: GateId) -> &mut Gate {
+        &mut self.gates[id.index()]
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of gate instances.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Ids of all D flip-flop gates, in creation order. The k-th entry
+    /// corresponds to state bit k in [`Netlist::eval_nets`].
+    pub fn dffs(&self) -> Vec<GateId> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind.is_sequential())
+            .map(|(i, _)| GateId::from_index(i))
+            .collect()
+    }
+
+    /// Returns `true` if the netlist contains no sequential elements.
+    pub fn is_combinational(&self) -> bool {
+        self.gates.iter().all(|g| !g.kind.is_sequential())
+    }
+
+    /// Per-net fanout: for each net, the gates reading it.
+    pub fn fanout_map(&self) -> Vec<Vec<GateId>> {
+        let mut map = vec![Vec::new(); self.nets.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            for &inp in &g.inputs {
+                map[inp.index()].push(GateId::from_index(i));
+            }
+        }
+        map
+    }
+
+    /// Topological order of the *combinational* gates (DFFs excluded; DFF
+    /// outputs are treated as sources, like primary inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// gates form a cycle.
+    pub fn topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
+        let n = self.gates.len();
+        // indegree over combinational gates: count inputs driven by comb gates
+        let mut indeg = vec![0usize; n];
+        let mut ready: Vec<usize> = Vec::new();
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind.is_sequential() {
+                continue;
+            }
+            let d = g
+                .inputs
+                .iter()
+                .filter(|&&inp| {
+                    self.nets[inp.index()]
+                        .driver
+                        .map(|drv| !self.gates[drv.index()].kind.is_sequential())
+                        .unwrap_or(false)
+                })
+                .count();
+            indeg[i] = d;
+            if d == 0 {
+                ready.push(i);
+            }
+        }
+        let fanout = self.fanout_map();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(GateId::from_index(i));
+            let out = self.gates[i].output;
+            for &succ in &fanout[out.index()] {
+                let s = succ.index();
+                if self.gates[s].kind.is_sequential() {
+                    continue;
+                }
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        let comb_count = self.gates.iter().filter(|g| !g.kind.is_sequential()).count();
+        if order.len() != comb_count {
+            return Err(NetlistError::CombinationalCycle);
+        }
+        Ok(order)
+    }
+
+    /// Evaluates every net for one cycle.
+    ///
+    /// `inputs` must match [`Netlist::inputs`] in length; `state` must match
+    /// the number of DFFs (use `&[]` for combinational designs). Returns the
+    /// value of every net; undriven internal nets read as `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::WidthMismatch`] on wrong vector widths and
+    /// [`NetlistError::CombinationalCycle`] on cyclic logic.
+    pub fn eval_nets(&self, inputs: &[bool], state: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(NetlistError::WidthMismatch {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let dffs = self.dffs();
+        if state.len() != dffs.len() {
+            return Err(NetlistError::WidthMismatch {
+                expected: dffs.len(),
+                got: state.len(),
+            });
+        }
+        let order = self.topo_order()?;
+        let mut values = vec![false; self.nets.len()];
+        for (k, &pi) in self.inputs.iter().enumerate() {
+            values[pi.index()] = inputs[k];
+        }
+        for (k, &d) in dffs.iter().enumerate() {
+            values[self.gates[d.index()].output.index()] = state[k];
+        }
+        let mut scratch: Vec<bool> = Vec::new();
+        for gid in order {
+            let g = &self.gates[gid.index()];
+            scratch.clear();
+            scratch.extend(g.inputs.iter().map(|&i| values[i.index()]));
+            values[g.output.index()] = g.kind.eval(&scratch);
+        }
+        Ok(values)
+    }
+
+    /// Evaluates the primary outputs and the next DFF state for one cycle.
+    ///
+    /// # Errors
+    ///
+    /// See [`Netlist::eval_nets`].
+    pub fn step(
+        &self,
+        inputs: &[bool],
+        state: &[bool],
+    ) -> Result<(Vec<bool>, Vec<bool>), NetlistError> {
+        let values = self.eval_nets(inputs, state)?;
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|&(n, _)| values[n.index()])
+            .collect();
+        let next_state = self
+            .dffs()
+            .iter()
+            .map(|&d| values[self.gates[d.index()].inputs[0].index()])
+            .collect();
+        Ok((outputs, next_state))
+    }
+
+    /// Convenience: evaluates a combinational netlist's outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch, cycles, or if the design is sequential.
+    pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
+        assert!(
+            self.is_combinational(),
+            "evaluate() requires a combinational netlist; use step()"
+        );
+        let (outs, _) = self.step(inputs, &[]).expect("evaluation failed");
+        outs
+    }
+
+    /// Inserts a gate *between* `target` and all of its current loads:
+    /// creates a new net `y`, redirects every gate input and primary output
+    /// currently reading `target` to `y`, and adds a gate
+    /// `kind(target, extra_inputs...) -> y`.
+    ///
+    /// This is the primitive used by logic locking (key-gate insertion),
+    /// Trojan payload splicing, and sensor insertion.
+    ///
+    /// Returns the id of the new net `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arity is violated or ids are out of range.
+    pub fn insert_after(
+        &mut self,
+        target: NetId,
+        kind: CellKind,
+        extra_inputs: &[NetId],
+        tags: GateTags,
+    ) -> NetId {
+        // Redirect existing loads first, then add the new gate (which must
+        // keep reading the original target).
+        let mut loads: Vec<(usize, usize)> = Vec::new();
+        for (gi, g) in self.gates.iter().enumerate() {
+            for (pi, &inp) in g.inputs.iter().enumerate() {
+                if inp == target {
+                    loads.push((gi, pi));
+                }
+            }
+        }
+        let mut gate_inputs = vec![target];
+        gate_inputs.extend_from_slice(extra_inputs);
+        let y = self.add_gate_tagged(kind, &gate_inputs, tags);
+        for (gi, pi) in loads {
+            self.gates[gi].inputs[pi] = y;
+        }
+        for out in &mut self.outputs {
+            if out.0 == target {
+                out.0 = y;
+            }
+        }
+        y
+    }
+
+    /// Replaces every *use* of `old` (gate inputs and primary-output
+    /// markings) with `new`. The driver of `old` is untouched; callers
+    /// typically follow up with a dead-logic sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either net is out of range.
+    pub fn replace_net_uses(&mut self, old: NetId, new: NetId) {
+        assert!(old.index() < self.nets.len(), "net {old} out of range");
+        assert!(new.index() < self.nets.len(), "net {new} out of range");
+        if old == new {
+            return;
+        }
+        for g in &mut self.gates {
+            for inp in &mut g.inputs {
+                if *inp == old {
+                    *inp = new;
+                }
+            }
+        }
+        for out in &mut self.outputs {
+            if out.0 == old {
+                out.0 = new;
+            }
+        }
+    }
+
+    /// Checks structural invariants: arity bounds, id ranges, single driver
+    /// per net, and acyclicity of the combinational logic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let mut seen_driver = vec![false; self.nets.len()];
+        for g in &self.gates {
+            let (lo, hi) = g.kind.arity();
+            if g.inputs.len() < lo || g.inputs.len() > hi {
+                return Err(NetlistError::BadArity {
+                    kind: g.kind.to_string(),
+                    got: g.inputs.len(),
+                });
+            }
+            for &i in &g.inputs {
+                if i.index() >= self.nets.len() {
+                    return Err(NetlistError::UnknownNet(i.to_string()));
+                }
+            }
+            if g.output.index() >= self.nets.len() {
+                return Err(NetlistError::UnknownNet(g.output.to_string()));
+            }
+            if seen_driver[g.output.index()] {
+                return Err(NetlistError::MultipleDrivers(g.output.to_string()));
+            }
+            seen_driver[g.output.index()] = true;
+        }
+        for &pi in &self.inputs {
+            if seen_driver[pi.index()] {
+                return Err(NetlistError::MultipleDrivers(pi.to_string()));
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// Exhaustive truth table of a small combinational netlist, one entry
+    /// per input assignment in counting order (LSB = first input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has more than 20 inputs or is sequential.
+    pub fn truth_table(&self) -> Vec<Vec<bool>> {
+        let n = self.inputs.len();
+        assert!(n <= 20, "truth_table limited to 20 inputs");
+        let mut rows = Vec::with_capacity(1 << n);
+        for pattern in 0u32..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|b| (pattern >> b) & 1 == 1).collect();
+            rows.push(self.evaluate(&inputs));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder() -> Netlist {
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let s = nl.add_gate(CellKind::Xor, &[a, b, cin]);
+        let ab = nl.add_gate(CellKind::And, &[a, b]);
+        let ac = nl.add_gate(CellKind::And, &[a, cin]);
+        let bc = nl.add_gate(CellKind::And, &[b, cin]);
+        let cout = nl.add_gate(CellKind::Or, &[ab, ac, bc]);
+        nl.mark_output(s, "s");
+        nl.mark_output(cout, "cout");
+        nl
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let nl = full_adder();
+        for pattern in 0..8u8 {
+            let a = pattern & 1 == 1;
+            let b = pattern & 2 == 2;
+            let c = pattern & 4 == 4;
+            let expect_sum = a ^ b ^ c;
+            let expect_cout = (a & b) | (a & c) | (b & c);
+            assert_eq!(
+                nl.evaluate(&[a, b, c]),
+                vec![expect_sum, expect_cout],
+                "pattern {pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(full_adder().validate(), Ok(()));
+    }
+
+    #[test]
+    fn sequential_step_counts() {
+        // 1-bit toggle counter: q' = q ^ 1
+        let mut nl = Netlist::new("toggle");
+        let one = nl.add_gate(CellKind::Const1, &[]);
+        let q_net = nl.add_net(); // placeholder for feedback
+        let next = nl.add_gate(CellKind::Xor, &[q_net, one]);
+        let q = nl.add_gate(CellKind::Dff, &[next]);
+        // rewire: feedback net is the dff output; replace placeholder usage
+        let gid = nl.net(next).driver.expect("driver");
+        nl.gate_mut(gid).inputs[0] = q;
+        nl.mark_output(q, "q");
+        let (out0, s1) = nl.step(&[], &[false]).expect("step");
+        assert_eq!(out0, vec![false]);
+        assert_eq!(s1, vec![true]);
+        let (out1, s2) = nl.step(&[], &s1).expect("step");
+        assert_eq!(out1, vec![true]);
+        assert_eq!(s2, vec![false]);
+    }
+
+    #[test]
+    fn insert_after_rewires_loads_and_outputs() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_gate(CellKind::And, &[a, b]);
+        let y = nl.add_gate(CellKind::Not, &[x]);
+        nl.mark_output(x, "x");
+        nl.mark_output(y, "y");
+        // Insert an inverter after x: x now feeds only the new gate.
+        let nx = nl.insert_after(x, CellKind::Not, &[], GateTags::default());
+        assert_eq!(nl.outputs()[0].0, nx);
+        // The old NOT gate must now read nx instead of x.
+        let not_gate = nl.net(y).driver.expect("driver");
+        assert_eq!(nl.gate(not_gate).inputs[0], nx);
+        // Function: out x is now !(a&b), out y is !!(a&b)
+        assert_eq!(nl.evaluate(&[true, true]), vec![false, true]);
+        assert_eq!(nl.evaluate(&[true, false]), vec![true, false]);
+        assert_eq!(nl.validate(), Ok(()));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_input("a");
+        let tmp = nl.add_net();
+        let x = nl.add_gate(CellKind::And, &[a, tmp]);
+        let gid = nl.net(x).driver.expect("driver");
+        // close the loop: x depends on itself
+        nl.gate_mut(gid).inputs[1] = x;
+        assert_eq!(nl.topo_order(), Err(NetlistError::CombinationalCycle));
+    }
+
+    #[test]
+    fn width_mismatch_reported() {
+        let nl = full_adder();
+        assert!(matches!(
+            nl.step(&[true], &[]),
+            Err(NetlistError::WidthMismatch { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn truth_table_size() {
+        let nl = full_adder();
+        let tt = nl.truth_table();
+        assert_eq!(tt.len(), 8);
+        assert_eq!(tt[7], vec![true, true]); // 1+1+1 = 11b
+    }
+}

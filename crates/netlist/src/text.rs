@@ -1,0 +1,258 @@
+//! A small structural text format for netlists.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! design half_adder
+//! input a
+//! input b
+//! gate n2 = xor n0 n1
+//! gate n3 = and n0 n1
+//! output sum n2
+//! output carry n3
+//! ```
+//!
+//! Nets are referenced as `n<index>`; gates implicitly define their output
+//! net. The parser accepts gates in any topological position as long as the
+//! referenced net ids were already defined.
+
+use crate::cell::CellKind;
+use crate::error::NetlistError;
+use crate::id::NetId;
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes a netlist to the structural text format.
+pub fn format_netlist(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "design {}", nl.name());
+    for &pi in nl.inputs() {
+        let name = nl
+            .net(pi)
+            .name
+            .clone()
+            .unwrap_or_else(|| pi.to_string());
+        let _ = writeln!(out, "input {name} {pi}");
+    }
+    for g in nl.gates() {
+        let _ = write!(out, "gate {} = {}", g.output, g.kind);
+        for &i in &g.inputs {
+            let _ = write!(out, " {i}");
+        }
+        let mut flags = String::new();
+        if g.tags.no_reassoc {
+            flags.push_str(" !barrier");
+        }
+        if g.tags.key_gate {
+            flags.push_str(" !key");
+        }
+        if g.tags.monitor {
+            flags.push_str(" !monitor");
+        }
+        if g.tags.redundancy {
+            flags.push_str(" !red");
+        }
+        let _ = writeln!(out, "{flags}");
+    }
+    for (net, name) in nl.outputs() {
+        let _ = writeln!(out, "output {name} {net}");
+    }
+    out
+}
+
+fn parse_net_token(tok: &str, line: usize) -> Result<usize, NetlistError> {
+    tok.strip_prefix('n')
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| NetlistError::Parse {
+            line,
+            message: format!("expected net token, got `{tok}`"),
+        })
+}
+
+/// Parses the structural text format back into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed input and the usual
+/// structural errors if the described netlist is ill-formed.
+pub fn parse_netlist(text: &str) -> Result<Netlist, NetlistError> {
+    let mut nl = Netlist::new("unnamed");
+    // maps file-scope net index -> actual NetId in nl
+    let mut net_map: HashMap<usize, NetId> = HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut toks = trimmed.split_whitespace();
+        match toks.next() {
+            Some("design") => {
+                let name = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "design needs a name".into(),
+                })?;
+                nl.set_name(name);
+            }
+            Some("input") => {
+                let name = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "input needs a name".into(),
+                })?;
+                let idx_tok = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "input needs a net token".into(),
+                })?;
+                let idx = parse_net_token(idx_tok, line)?;
+                let id = nl.add_input(name);
+                net_map.insert(idx, id);
+            }
+            Some("gate") => {
+                let out_tok = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "gate needs an output net".into(),
+                })?;
+                let out_idx = parse_net_token(out_tok, line)?;
+                match toks.next() {
+                    Some("=") => {}
+                    _ => {
+                        return Err(NetlistError::Parse {
+                            line,
+                            message: "expected `=` after gate output".into(),
+                        })
+                    }
+                }
+                let kind_tok = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "gate needs a cell kind".into(),
+                })?;
+                let kind = CellKind::from_mnemonic(kind_tok).ok_or_else(|| NetlistError::Parse {
+                    line,
+                    message: format!("unknown cell kind `{kind_tok}`"),
+                })?;
+                let mut inputs = Vec::new();
+                let mut tags = crate::cell::GateTags::default();
+                for tok in toks {
+                    match tok {
+                        "!barrier" => tags.no_reassoc = true,
+                        "!key" => tags.key_gate = true,
+                        "!monitor" => tags.monitor = true,
+                        "!red" => tags.redundancy = true,
+                        _ => {
+                            let idx = parse_net_token(tok, line)?;
+                            let id = *net_map.get(&idx).ok_or_else(|| {
+                                NetlistError::UnknownNet(format!("n{idx}"))
+                            })?;
+                            inputs.push(id);
+                        }
+                    }
+                }
+                let (lo, hi) = kind.arity();
+                if inputs.len() < lo || inputs.len() > hi {
+                    return Err(NetlistError::BadArity {
+                        kind: kind.to_string(),
+                        got: inputs.len(),
+                    });
+                }
+                let out = nl.add_gate_tagged(kind, &inputs, tags);
+                net_map.insert(out_idx, out);
+            }
+            Some("output") => {
+                let name = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "output needs a name".into(),
+                })?;
+                let idx_tok = toks.next().ok_or(NetlistError::Parse {
+                    line,
+                    message: "output needs a net token".into(),
+                })?;
+                let idx = parse_net_token(idx_tok, line)?;
+                let id = *net_map
+                    .get(&idx)
+                    .ok_or_else(|| NetlistError::UnknownNet(format!("n{idx}")))?;
+                nl.mark_output(id, name);
+            }
+            Some(other) => {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+            None => {}
+        }
+    }
+    nl.validate()?;
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellKind, GateTags};
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("ha");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let s = nl.add_gate(CellKind::Xor, &[a, b]);
+        let c = nl.add_gate_tagged(
+            CellKind::And,
+            &[a, b],
+            GateTags {
+                no_reassoc: true,
+                ..GateTags::default()
+            },
+        );
+        nl.mark_output(s, "sum");
+        nl.mark_output(c, "carry");
+        nl
+    }
+
+    #[test]
+    fn roundtrip_preserves_function_and_tags() {
+        let nl = sample();
+        let text = format_netlist(&nl);
+        let back = parse_netlist(&text).expect("parse");
+        assert_eq!(back.name(), "ha");
+        assert_eq!(back.truth_table(), nl.truth_table());
+        let barrier_gates: Vec<_> = back
+            .gates()
+            .iter()
+            .filter(|g| g.tags.no_reassoc)
+            .collect();
+        assert_eq!(barrier_gates.len(), 1);
+        assert_eq!(barrier_gates[0].kind, CellKind::And);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_kind() {
+        let err = parse_netlist("design x\ninput a n0\ngate n1 = frob n0\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_undefined_net() {
+        let err = parse_netlist("design x\ninput a n0\ngate n1 = not n9\n").unwrap_err();
+        assert_eq!(err, NetlistError::UnknownNet("n9".into()));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let nl = parse_netlist("# a comment\ndesign x\n\ninput a n0\noutput y n0\n").expect("ok");
+        assert_eq!(nl.inputs().len(), 1);
+        assert_eq!(nl.outputs().len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_bad_arity() {
+        let err = parse_netlist("design x\ninput a n0\ngate n1 = and n0\n").unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::BadArity {
+                kind: "and".into(),
+                got: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Logistic-regression modeling attack on arbiter PUFs.
+//!
+//! The arbiter PUF's response is `sign(w · Φ(c))` — a linear threshold
+//! function, learnable from challenge/response pairs. This module trains
+//! a from-scratch logistic regression with SGD and reports prediction
+//! accuracy on held-out challenges. XOR PUFs compose `k` such functions
+//! and resist this (linear) attack, which the tests demonstrate.
+
+use crate::arbiter::{random_challenges, ArbiterPuf};
+
+/// Result of a modeling attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelingAttackResult {
+    /// Learned weight vector (same feature space as the PUF model).
+    pub weights: Vec<f64>,
+    /// Prediction accuracy on the held-out test CRPs.
+    pub accuracy: f64,
+    /// Number of training CRPs used.
+    pub training_crps: usize,
+}
+
+/// Trains a logistic-regression model from `(challenge, response)` pairs
+/// and evaluates it on a test set.
+///
+/// # Panics
+///
+/// Panics if the training set is empty or widths are inconsistent.
+pub fn model_arbiter_puf(
+    train: &[(Vec<bool>, bool)],
+    test: &[(Vec<bool>, bool)],
+    epochs: usize,
+    learning_rate: f64,
+) -> ModelingAttackResult {
+    assert!(!train.is_empty(), "empty training set");
+    let stages = train[0].0.len();
+    let mut weights = vec![0.0f64; stages + 1];
+    for epoch in 0..epochs {
+        let lr = learning_rate / (1.0 + epoch as f64 * 0.1);
+        for (challenge, response) in train {
+            assert_eq!(challenge.len(), stages, "inconsistent challenge width");
+            let phi = ArbiterPuf::features(challenge);
+            let z: f64 = phi.iter().zip(&weights).map(|(f, w)| f * w).sum();
+            let p = 1.0 / (1.0 + (-z).exp());
+            let y = *response as u8 as f64;
+            let err = y - p;
+            for (w, f) in weights.iter_mut().zip(&phi) {
+                *w += lr * err * f;
+            }
+        }
+    }
+    let correct = test
+        .iter()
+        .filter(|(challenge, response)| {
+            let phi = ArbiterPuf::features(challenge);
+            let z: f64 = phi.iter().zip(&weights).map(|(f, w)| f * w).sum();
+            (z > 0.0) == *response
+        })
+        .count();
+    let accuracy = if test.is_empty() {
+        0.0
+    } else {
+        correct as f64 / test.len() as f64
+    };
+    ModelingAttackResult {
+        weights,
+        accuracy,
+        training_crps: train.len(),
+    }
+}
+
+/// Convenience: collects CRPs from any response function.
+pub fn collect_crps(
+    mut respond: impl FnMut(&[bool]) -> bool,
+    stages: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<(Vec<bool>, bool)> {
+    random_challenges(stages, count, seed)
+        .into_iter()
+        .map(|c| {
+            let r = respond(&c);
+            (c, r)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::{ArbiterPuf, ArbiterPufConfig, XorArbiterPuf};
+
+    fn quiet() -> ArbiterPufConfig {
+        ArbiterPufConfig {
+            noise_sigma: 0.0,
+            ..ArbiterPufConfig::default()
+        }
+    }
+
+    #[test]
+    fn attack_clones_a_plain_arbiter_puf() {
+        let puf = ArbiterPuf::manufacture(&quiet(), 42);
+        let train = collect_crps(|c| puf.respond_ideal(c), 32, 2000, 1);
+        let test = collect_crps(|c| puf.respond_ideal(c), 32, 500, 2);
+        let result = model_arbiter_puf(&train, &test, 30, 0.1);
+        assert!(
+            result.accuracy > 0.95,
+            "2000 CRPs should clone a 32-stage arbiter PUF: {}",
+            result.accuracy
+        );
+    }
+
+    #[test]
+    fn accuracy_grows_with_crps() {
+        let puf = ArbiterPuf::manufacture(&quiet(), 43);
+        let test = collect_crps(|c| puf.respond_ideal(c), 32, 500, 3);
+        let mut last = 0.0;
+        let mut accuracies = Vec::new();
+        for &n in &[50usize, 200, 1000, 4000] {
+            let train = collect_crps(|c| puf.respond_ideal(c), 32, n, 4);
+            let result = model_arbiter_puf(&train, &test, 30, 0.1);
+            accuracies.push(result.accuracy);
+            last = result.accuracy;
+        }
+        assert!(
+            accuracies[0] < accuracies[3],
+            "more data must help: {accuracies:?}"
+        );
+        assert!(last > 0.95, "final accuracy {last}");
+    }
+
+    #[test]
+    fn xor_puf_resists_the_linear_attack() {
+        let plain = ArbiterPuf::manufacture(&quiet(), 44);
+        let xor = XorArbiterPuf::manufacture(&quiet(), 4, 44);
+        let plain_train = collect_crps(|c| plain.respond_ideal(c), 32, 2000, 5);
+        let plain_test = collect_crps(|c| plain.respond_ideal(c), 32, 500, 6);
+        let xor_train = collect_crps(|c| xor.respond_ideal(c), 32, 2000, 5);
+        let xor_test = collect_crps(|c| xor.respond_ideal(c), 32, 500, 6);
+        let plain_result = model_arbiter_puf(&plain_train, &plain_test, 30, 0.1);
+        let xor_result = model_arbiter_puf(&xor_train, &xor_test, 30, 0.1);
+        assert!(
+            plain_result.accuracy - xor_result.accuracy > 0.2,
+            "XOR-4 must resist linear modeling: plain {} vs xor {}",
+            plain_result.accuracy,
+            xor_result.accuracy
+        );
+        assert!(
+            xor_result.accuracy < 0.75,
+            "XOR-4 accuracy should be near chance: {}",
+            xor_result.accuracy
+        );
+    }
+
+    #[test]
+    fn noisy_crps_cap_the_accuracy() {
+        let noisy_config = ArbiterPufConfig {
+            noise_sigma: 0.8,
+            ..ArbiterPufConfig::default()
+        };
+        let mut puf = ArbiterPuf::manufacture(&noisy_config, 45);
+        let train: Vec<(Vec<bool>, bool)> = random_challenges(32, 2000, 7)
+            .into_iter()
+            .map(|c| {
+                let r = puf.respond(&c);
+                (c, r)
+            })
+            .collect();
+        let test = collect_crps(|c| puf.respond_ideal(c), 32, 500, 8);
+        let result = model_arbiter_puf(&train, &test, 30, 0.1);
+        // the model still learns the dominant linear part
+        assert!(result.accuracy > 0.8, "accuracy {}", result.accuracy);
+    }
+}

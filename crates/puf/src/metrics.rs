@@ -1,0 +1,176 @@
+//! Standard PUF quality metrics.
+//!
+//! All metrics operate on response matrices: `responses[chip][bit]`.
+
+/// Uniqueness: mean pairwise inter-chip Hamming distance, normalized by
+/// the response length. Ideal: 0.5.
+///
+/// # Panics
+///
+/// Panics with fewer than two chips or inconsistent lengths.
+pub fn uniqueness(responses: &[Vec<bool>]) -> f64 {
+    assert!(responses.len() >= 2, "need at least two chips");
+    let n = responses[0].len();
+    assert!(n > 0, "empty responses");
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..responses.len() {
+        for j in (i + 1)..responses.len() {
+            assert_eq!(responses[j].len(), n, "inconsistent response widths");
+            let hd = responses[i]
+                .iter()
+                .zip(&responses[j])
+                .filter(|(a, b)| a != b)
+                .count();
+            total += hd as f64 / n as f64;
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Reliability: `1 -` mean intra-chip Hamming distance between a
+/// reference readout and repeated readouts of the *same* chip.
+/// Ideal: 1.0.
+///
+/// # Panics
+///
+/// Panics on empty or inconsistent inputs.
+pub fn reliability(reference: &[bool], rereads: &[Vec<bool>]) -> f64 {
+    assert!(!reference.is_empty(), "empty reference");
+    assert!(!rereads.is_empty(), "need at least one re-read");
+    let n = reference.len();
+    let mut total = 0.0;
+    for r in rereads {
+        assert_eq!(r.len(), n, "inconsistent widths");
+        let hd = reference.iter().zip(r).filter(|(a, b)| a != b).count();
+        total += hd as f64 / n as f64;
+    }
+    1.0 - total / rereads.len() as f64
+}
+
+/// Uniformity: fraction of 1 bits in a single chip's response.
+/// Ideal: 0.5.
+pub fn uniformity(response: &[bool]) -> f64 {
+    if response.is_empty() {
+        return 0.0;
+    }
+    response.iter().filter(|&&b| b).count() as f64 / response.len() as f64
+}
+
+/// Bit-aliasing: per response bit, the fraction of chips producing 1 —
+/// returns the worst deviation from 0.5 over all bits. Ideal: 0.0.
+///
+/// # Panics
+///
+/// Panics on empty or inconsistent inputs.
+pub fn bit_aliasing(responses: &[Vec<bool>]) -> f64 {
+    assert!(!responses.is_empty(), "no chips");
+    let n = responses[0].len();
+    let mut worst = 0.0f64;
+    for bit in 0..n {
+        let ones = responses
+            .iter()
+            .map(|r| {
+                assert_eq!(r.len(), n, "inconsistent widths");
+                r[bit] as usize
+            })
+            .sum::<usize>();
+        let p = ones as f64 / responses.len() as f64;
+        worst = worst.max((p - 0.5).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::{random_challenges, ArbiterPuf, ArbiterPufConfig};
+
+    fn population(config: &ArbiterPufConfig, chips: usize) -> Vec<Vec<bool>> {
+        let challenges = random_challenges(config.stages, 128, 77);
+        (0..chips)
+            .map(|chip| {
+                let puf = ArbiterPuf::manufacture(config, 1000 + chip as u64);
+                challenges.iter().map(|c| puf.respond_ideal(c)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn arbiter_population_metrics_near_ideal() {
+        let config = ArbiterPufConfig::default();
+        let pop = population(&config, 12);
+        let u = uniqueness(&pop);
+        assert!((0.38..=0.62).contains(&u), "uniqueness {u}");
+        let a = bit_aliasing(&pop);
+        assert!(a < 0.45, "bit aliasing {a}");
+        for chip in &pop {
+            let uf = uniformity(chip);
+            assert!((0.2..=0.8).contains(&uf), "uniformity {uf}");
+        }
+    }
+
+    #[test]
+    fn reliability_degrades_with_noise() {
+        let challenges = random_challenges(32, 256, 88);
+        let quiet_config = ArbiterPufConfig {
+            noise_sigma: 0.02,
+            ..ArbiterPufConfig::default()
+        };
+        let noisy_config = ArbiterPufConfig {
+            noise_sigma: 1.5,
+            ..ArbiterPufConfig::default()
+        };
+        let eval = |config: &ArbiterPufConfig| {
+            let mut puf = ArbiterPuf::manufacture(config, 5);
+            let reference: Vec<bool> =
+                challenges.iter().map(|c| puf.respond_ideal(c)).collect();
+            let rereads: Vec<Vec<bool>> = (0..10)
+                .map(|_| challenges.iter().map(|c| puf.respond(c)).collect())
+                .collect();
+            reliability(&reference, &rereads)
+        };
+        let quiet = eval(&quiet_config);
+        let noisy = eval(&noisy_config);
+        assert!(quiet > noisy, "noise must cost reliability: {quiet} vs {noisy}");
+        assert!(quiet > 0.95, "quiet reliability {quiet}");
+    }
+
+    #[test]
+    fn asymmetric_layout_improves_reliability() {
+        // [30]: deliberately increasing stage variation raises the delay
+        // margin over thermal noise — layout optimization of an entropy
+        // primitive
+        let challenges = random_challenges(32, 256, 99);
+        let eval = |variation: f64| {
+            let config = ArbiterPufConfig {
+                variation_sigma: variation,
+                noise_sigma: 0.3,
+                ..ArbiterPufConfig::default()
+            };
+            let mut puf = ArbiterPuf::manufacture(&config, 6);
+            let reference: Vec<bool> =
+                challenges.iter().map(|c| puf.respond_ideal(c)).collect();
+            let rereads: Vec<Vec<bool>> = (0..10)
+                .map(|_| challenges.iter().map(|c| puf.respond(c)).collect())
+                .collect();
+            reliability(&reference, &rereads)
+        };
+        let symmetric = eval(0.5);
+        let asymmetric = eval(2.0);
+        assert!(
+            asymmetric > symmetric,
+            "larger variation should improve noise margin: {asymmetric} vs {symmetric}"
+        );
+    }
+
+    #[test]
+    fn perfect_inputs_give_perfect_metrics() {
+        let a = vec![true, false, true, false];
+        let b = vec![false, true, false, true];
+        assert!((uniqueness(&[a.clone(), b]) - 1.0).abs() < 1e-9);
+        assert!((reliability(&a, &[a.clone(), a.clone()]) - 1.0).abs() < 1e-9);
+        assert!((uniformity(&a) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,289 @@
+//! Tseitin encoding of netlists and miter construction.
+//!
+//! The bridge between the circuit world and the solver: every net becomes
+//! a variable, every gate a handful of clauses. [`miter`] builds the
+//! classical equivalence-checking construction — two circuits sharing
+//! inputs, with an output asserting that *some* primary output differs.
+
+use crate::cnf::{Cnf, Lit, Var};
+use seceda_netlist::{CellKind, Netlist, NetlistError};
+
+/// The variable mapping produced by encoding a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistEncoding {
+    /// `vars[net.index()]` is the CNF variable of that net.
+    pub vars: Vec<Var>,
+    /// Variables of the primary inputs, in port order.
+    pub input_vars: Vec<Var>,
+    /// Variables of the primary outputs, in port order.
+    pub output_vars: Vec<Var>,
+}
+
+impl NetlistEncoding {
+    /// The variable of a specific net.
+    pub fn var_of(&self, net: seceda_netlist::NetId) -> Var {
+        self.vars[net.index()]
+    }
+}
+
+fn encode_nary(cnf: &mut Cnf, kind: CellKind, y: Lit, ins: &[Lit]) {
+    match kind {
+        CellKind::And | CellKind::Nand => {
+            let yy = if kind == CellKind::Nand { !y } else { y };
+            // yy <-> AND(ins)
+            let mut big: Vec<Lit> = ins.iter().map(|&l| !l).collect();
+            big.push(yy);
+            for &l in ins {
+                cnf.add_clause([!yy, l]);
+            }
+            cnf.add_clause(big);
+        }
+        CellKind::Or | CellKind::Nor => {
+            let yy = if kind == CellKind::Nor { !y } else { y };
+            let mut big: Vec<Lit> = ins.to_vec();
+            big.push(!yy);
+            for &l in ins {
+                cnf.add_clause([yy, !l]);
+            }
+            cnf.add_clause(big);
+        }
+        CellKind::Xor | CellKind::Xnor => {
+            // chain through auxiliaries
+            let mut acc = ins[0];
+            for &l in &ins[1..ins.len() - 1] {
+                let t = cnf.new_var().pos();
+                cnf.gate_xor(t, acc, l);
+                acc = t;
+            }
+            let last = ins[ins.len() - 1];
+            let yy = if kind == CellKind::Xnor { !y } else { y };
+            cnf.gate_xor(yy, acc, last);
+        }
+        _ => unreachable!("encode_nary only handles n-ary kinds"),
+    }
+}
+
+/// Encodes the combinational logic of `nl` into `cnf`, allocating one
+/// variable per net (plus auxiliaries for wide XORs). DFF outputs are
+/// left unconstrained (free variables), which models an arbitrary state —
+/// callers doing bounded model checking unroll explicitly.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] on cyclic logic.
+pub fn encode_netlist(nl: &Netlist, cnf: &mut Cnf) -> Result<NetlistEncoding, NetlistError> {
+    let order = nl.topo_order()?;
+    let vars: Vec<Var> = (0..nl.num_nets()).map(|_| cnf.new_var()).collect();
+    for gid in order {
+        let g = nl.gate(gid);
+        let y = vars[g.output.index()].pos();
+        let ins: Vec<Lit> = g.inputs.iter().map(|&i| vars[i.index()].pos()).collect();
+        match g.kind {
+            CellKind::Const0 => cnf.add_clause([!y]),
+            CellKind::Const1 => cnf.add_clause([y]),
+            CellKind::Buf => cnf.gate_buf(y, ins[0]),
+            CellKind::Not => cnf.gate_buf(y, !ins[0]),
+            CellKind::Mux => cnf.gate_mux(y, ins[0], ins[1], ins[2]),
+            CellKind::And | CellKind::Nand | CellKind::Or | CellKind::Nor => {
+                if ins.len() == 2 {
+                    match g.kind {
+                        CellKind::And => cnf.gate_and(y, ins[0], ins[1]),
+                        CellKind::Nand => cnf.gate_and(!y, ins[0], ins[1]),
+                        CellKind::Or => cnf.gate_or(y, ins[0], ins[1]),
+                        CellKind::Nor => cnf.gate_or(!y, ins[0], ins[1]),
+                        _ => unreachable!(),
+                    }
+                } else {
+                    encode_nary(cnf, g.kind, y, &ins);
+                }
+            }
+            CellKind::Xor | CellKind::Xnor => {
+                if ins.len() == 2 {
+                    let yy = if g.kind == CellKind::Xnor { !y } else { y };
+                    cnf.gate_xor(yy, ins[0], ins[1]);
+                } else {
+                    encode_nary(cnf, g.kind, y, &ins);
+                }
+            }
+            CellKind::Dff => { /* output stays free */ }
+        }
+    }
+    Ok(NetlistEncoding {
+        input_vars: nl.inputs().iter().map(|&n| vars[n.index()]).collect(),
+        output_vars: nl.outputs().iter().map(|&(n, _)| vars[n.index()]).collect(),
+        vars,
+    })
+}
+
+/// Builds a miter of two combinational netlists with identical interfaces:
+/// shared primary inputs, and a single literal (returned) that is true iff
+/// at least one primary output differs.
+///
+/// Asking the solver for that literal answers equivalence: UNSAT under
+/// `[diff]` means the circuits agree on every input.
+///
+/// # Errors
+///
+/// Returns a netlist error if either circuit is cyclic.
+///
+/// # Panics
+///
+/// Panics if the interfaces (input/output counts) do not match.
+pub fn miter(
+    a: &Netlist,
+    b: &Netlist,
+    cnf: &mut Cnf,
+) -> Result<(NetlistEncoding, NetlistEncoding, Lit), NetlistError> {
+    assert_eq!(
+        a.inputs().len(),
+        b.inputs().len(),
+        "miter needs matching input counts"
+    );
+    assert_eq!(
+        a.outputs().len(),
+        b.outputs().len(),
+        "miter needs matching output counts"
+    );
+    let enc_a = encode_netlist(a, cnf)?;
+    let enc_b = encode_netlist(b, cnf)?;
+    // tie the inputs together
+    for (&va, &vb) in enc_a.input_vars.iter().zip(&enc_b.input_vars) {
+        cnf.gate_buf(va.pos(), vb.pos());
+    }
+    // per-output difference bits
+    let mut diffs = Vec::with_capacity(enc_a.output_vars.len());
+    for (&oa, &ob) in enc_a.output_vars.iter().zip(&enc_b.output_vars) {
+        let d = cnf.new_var().pos();
+        cnf.gate_xor(d, oa.pos(), ob.pos());
+        diffs.push(d);
+    }
+    // diff <-> OR(diffs)
+    let diff = cnf.new_var().pos();
+    for &d in &diffs {
+        cnf.add_clause([diff, !d]);
+    }
+    let mut big = diffs.clone();
+    big.push(!diff);
+    cnf.add_clause(big);
+    Ok((enc_a, enc_b, diff))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SatResult, Solver};
+    use seceda_netlist::{c17, majority, CellKind};
+
+    /// Checks every CNF model of an encoded netlist against simulation.
+    fn check_encoding_consistency(nl: &Netlist) {
+        let mut cnf = Cnf::new();
+        let enc = encode_netlist(nl, &mut cnf).expect("encode");
+        let n_inputs = nl.inputs().len();
+        for pattern in 0..(1u32 << n_inputs) {
+            let inputs: Vec<bool> = (0..n_inputs).map(|b| (pattern >> b) & 1 == 1).collect();
+            let expected = nl.evaluate(&inputs);
+            let assumptions: Vec<Lit> = enc
+                .input_vars
+                .iter()
+                .zip(&inputs)
+                .map(|(&v, &b)| v.lit(b))
+                .collect();
+            let mut solver = Solver::from_cnf(&cnf);
+            match solver.solve_with_assumptions(&assumptions) {
+                SatResult::Sat(model) => {
+                    for (k, &ov) in enc.output_vars.iter().enumerate() {
+                        assert_eq!(
+                            model[ov.index()],
+                            expected[k],
+                            "pattern {pattern} output {k}"
+                        );
+                    }
+                }
+                SatResult::Unsat => panic!("encoding unsat under concrete inputs"),
+            }
+        }
+    }
+
+    #[test]
+    fn c17_encoding_matches_simulation() {
+        check_encoding_consistency(&c17());
+    }
+
+    #[test]
+    fn majority_encoding_matches_simulation() {
+        check_encoding_consistency(&majority());
+    }
+
+    #[test]
+    fn wide_gates_encoding() {
+        let mut nl = Netlist::new("wide");
+        let ins: Vec<_> = (0..5).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let a = nl.add_gate(CellKind::And, &ins);
+        let o = nl.add_gate(CellKind::Or, &ins);
+        let x = nl.add_gate(CellKind::Xor, &ins);
+        let nx = nl.add_gate(CellKind::Xnor, &ins);
+        let na = nl.add_gate(CellKind::Nand, &ins);
+        let no = nl.add_gate(CellKind::Nor, &ins);
+        for (net, name) in [(a, "a"), (o, "o"), (x, "x"), (nx, "nx"), (na, "na"), (no, "no")] {
+            nl.mark_output(net, name);
+        }
+        check_encoding_consistency(&nl);
+    }
+
+    #[test]
+    fn miter_proves_equivalence() {
+        // two structurally different implementations of XOR
+        let mut a = Netlist::new("xor1");
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let out = a.add_gate(CellKind::Xor, &[x, y]);
+        a.mark_output(out, "o");
+
+        let mut b = Netlist::new("xor2");
+        let x2 = b.add_input("x");
+        let y2 = b.add_input("y");
+        let nx = b.add_gate(CellKind::Not, &[x2]);
+        let ny = b.add_gate(CellKind::Not, &[y2]);
+        let t1 = b.add_gate(CellKind::And, &[x2, ny]);
+        let t2 = b.add_gate(CellKind::And, &[nx, y2]);
+        let out2 = b.add_gate(CellKind::Or, &[t1, t2]);
+        b.mark_output(out2, "o");
+
+        let mut cnf = Cnf::new();
+        let (_, _, diff) = miter(&a, &b, &mut cnf).expect("miter");
+        let mut solver = Solver::from_cnf(&cnf);
+        assert_eq!(
+            solver.solve_with_assumptions(&[diff]),
+            SatResult::Unsat,
+            "equivalent circuits must have an unsat miter"
+        );
+    }
+
+    #[test]
+    fn miter_finds_counterexample() {
+        let mut a = Netlist::new("and");
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let out = a.add_gate(CellKind::And, &[x, y]);
+        a.mark_output(out, "o");
+
+        let mut b = Netlist::new("or");
+        let x2 = b.add_input("x");
+        let y2 = b.add_input("y");
+        let out2 = b.add_gate(CellKind::Or, &[x2, y2]);
+        b.mark_output(out2, "o");
+
+        let mut cnf = Cnf::new();
+        let (enc_a, _, diff) = miter(&a, &b, &mut cnf).expect("miter");
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve_with_assumptions(&[diff]) {
+            SatResult::Sat(model) => {
+                let xi = model[enc_a.input_vars[0].index()];
+                let yi = model[enc_a.input_vars[1].index()];
+                // AND and OR differ exactly when inputs differ
+                assert_ne!(xi & yi, xi | yi);
+            }
+            SatResult::Unsat => panic!("AND vs OR must differ"),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # seceda-sat
+//!
+//! A from-scratch CDCL SAT solver plus netlist-to-CNF encoding, built as
+//! the reasoning substrate for the `seceda` toolkit.
+//!
+//! Verification-driven security schemes all reduce to satisfiability:
+//! equivalence checking of locked/camouflaged logic, the oracle-guided
+//! SAT attack on logic locking \[33\], SAT-based ATPG, and bounded model
+//! checking. The paper (Sec. III-D) explicitly calls for EDA flows that
+//! "mimic attackers leveraging satisfiability-based tools".
+//!
+//! * [`Solver`] — conflict-driven clause learning with two-watched
+//!   literals, VSIDS-style activities, phase saving, Luby restarts and
+//!   incremental solving under assumptions;
+//! * [`Cnf`] / [`Lit`] / [`Var`] — formula representation;
+//! * [`encode`] — Tseitin encoding of netlists and miter construction.
+//!
+//! # Example
+//!
+//! ```
+//! use seceda_sat::{Cnf, Solver, SatResult};
+//!
+//! let mut cnf = Cnf::new();
+//! let a = cnf.new_var();
+//! let b = cnf.new_var();
+//! cnf.add_clause([a.pos(), b.pos()]);
+//! cnf.add_clause([a.neg()]);
+//! let mut solver = Solver::from_cnf(&cnf);
+//! match solver.solve() {
+//!     SatResult::Sat(model) => assert!(model[b.index()]),
+//!     SatResult::Unsat => unreachable!(),
+//! }
+//! ```
+
+pub mod encode;
+
+mod cnf;
+mod solver;
+
+pub use cnf::{Cnf, Lit, Var};
+pub use encode::{encode_netlist, miter, NetlistEncoding};
+pub use solver::{SatResult, Solver};

@@ -1,0 +1,666 @@
+//! Conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! Feature set: two-watched-literal propagation, first-UIP conflict
+//! analysis with non-chronological backtracking, VSIDS-style variable
+//! activities, phase saving, Luby restarts, and incremental solving
+//! under assumptions. Clause deletion is deliberately omitted — the
+//! instances produced by the toolkit (miters and locking attacks on
+//! circuits with a few thousand gates) stay comfortably in memory.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment, indexed by [`Var::index`].
+    Sat(Vec<bool>),
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Returns the model if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+
+    /// `true` if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+const UNASSIGNED: i8 = -1;
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// The CDCL solver.
+///
+/// # Example
+///
+/// ```
+/// use seceda_sat::{Cnf, Solver};
+///
+/// let mut cnf = Cnf::new();
+/// let a = cnf.new_var();
+/// cnf.add_clause([a.pos()]);
+/// cnf.add_clause([a.neg()]);
+/// assert!(!Solver::from_cnf(&cnf).solve().is_sat());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[l.code()]`: indices of clauses in which literal `l` is one
+    /// of the two watched literals.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<i8>, // -1 unassigned / 0 false / 1 true
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    saved_phase: Vec<bool>,
+    seen: Vec<bool>,
+    unsat: bool,
+    /// Statistics: total conflicts encountered.
+    pub num_conflicts: u64,
+    /// Statistics: total decisions taken.
+    pub num_decisions: u64,
+    /// Statistics: total literals propagated.
+    pub num_propagations: u64,
+}
+
+impl Solver {
+    /// Creates a solver over `num_vars` variables and no clauses.
+    pub fn new(num_vars: usize) -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            assign: vec![UNASSIGNED; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![NO_REASON; num_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars],
+            var_inc: 1.0,
+            saved_phase: vec![false; num_vars],
+            seen: vec![false; num_vars],
+            unsat: false,
+            num_conflicts: 0,
+            num_decisions: 0,
+            num_propagations: 0,
+        }
+    }
+
+    /// Builds a solver preloaded with the clauses of `cnf`.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut s = Solver::new(cnf.num_vars());
+        for clause in cnf.clauses() {
+            s.add_clause(clause.iter().copied());
+        }
+        s
+    }
+
+    /// Allocates a fresh variable (for incremental encodings).
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assign.len());
+        self.assign.push(UNASSIGNED);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    fn value_lit(&self, l: Lit) -> i8 {
+        match self.assign[l.var().index()] {
+            UNASSIGNED => UNASSIGNED,
+            v => i8::from((v == 1) == l.is_positive()),
+        }
+    }
+
+    /// Adds a clause. May be called between [`Solver::solve`] calls; the
+    /// solver backtracks to the root level first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unknown variable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.backtrack(0);
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            assert!(l.var().index() < self.num_vars(), "literal out of range");
+        }
+        clause.sort_unstable();
+        clause.dedup();
+        if clause.windows(2).any(|w| w[0] == !w[1]) {
+            return; // tautology
+        }
+        if clause.iter().any(|&l| self.value_lit(l) == 1) {
+            return; // satisfied at root level
+        }
+        clause.retain(|&l| self.value_lit(l) != 0); // drop root-false lits
+        match clause.len() {
+            0 => self.unsat = true,
+            1 => {
+                self.enqueue(clause[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[clause[0].code()].push(idx);
+                self.watches[clause[1].code()].push(idx);
+                self.clauses.push(Clause { lits: clause });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.value_lit(l), UNASSIGNED);
+        let v = l.var().index();
+        self.assign[v] = l.is_positive() as i8;
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.saved_phase[v] = l.is_positive();
+        self.trail.push(l);
+        self.num_propagations += 1;
+    }
+
+    /// Propagates all pending assignments; returns a conflicting clause
+    /// index on conflict.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p; // literal that just became false
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                match self.visit_clause(ci, false_lit) {
+                    VisitOutcome::Keep => i += 1,
+                    VisitOutcome::Moved => {
+                        watch_list.swap_remove(i);
+                    }
+                    VisitOutcome::Conflict => {
+                        conflict = Some(ci);
+                        break;
+                    }
+                }
+            }
+            self.watches[false_lit.code()] = watch_list;
+            if conflict.is_some() {
+                // flush the propagation queue so the trail stays coherent
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn visit_clause(&mut self, ci: u32, false_lit: Lit) -> VisitOutcome {
+        // ensure the false watch sits at position 1
+        {
+            let c = &mut self.clauses[ci as usize].lits;
+            if c[0] == false_lit {
+                c.swap(0, 1);
+            }
+        }
+        let first = self.clauses[ci as usize].lits[0];
+        if self.value_lit(first) == 1 {
+            return VisitOutcome::Keep;
+        }
+        let len = self.clauses[ci as usize].lits.len();
+        for k in 2..len {
+            let lk = self.clauses[ci as usize].lits[k];
+            if self.value_lit(lk) != 0 {
+                let c = &mut self.clauses[ci as usize].lits;
+                c.swap(1, k);
+                let new_watch = c[1];
+                self.watches[new_watch.code()].push(ci);
+                return VisitOutcome::Moved;
+            }
+        }
+        if self.value_lit(first) == 0 {
+            VisitOutcome::Conflict
+        } else {
+            self.enqueue(first, ci);
+            VisitOutcome::Keep
+        }
+    }
+
+    fn backtrack(&mut self, target_level: usize) {
+        if self.trail_lim.len() <= target_level {
+            return;
+        }
+        let lim = self.trail_lim[target_level];
+        while self.trail.len() > lim {
+            let l = self.trail.pop().expect("trail non-empty");
+            let v = l.var().index();
+            self.assign[v] = UNASSIGNED;
+            self.reason[v] = NO_REASON;
+        }
+        self.trail_lim.truncate(target_level);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns `(learned clause, backtrack
+    /// level)` with the asserting literal at position 0.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, usize) {
+        let current = self.trail_lim.len() as u32;
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut index = self.trail.len();
+        let mut p: Option<Lit> = None;
+        let mut reason_clause = confl;
+        loop {
+            // For reason clauses, lits[0] is the literal that was asserted
+            // (p); skip it. For the initial conflict clause take all.
+            let start = usize::from(p.is_some());
+            for j in start..self.clauses[reason_clause as usize].lits.len() {
+                let q = self.clauses[reason_clause as usize].lits[j];
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] == current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // walk the trail backwards to the next marked literal
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            let v = lit.var().index();
+            self.seen[v] = false;
+            counter -= 1;
+            p = Some(lit);
+            if counter == 0 {
+                break;
+            }
+            reason_clause = self.reason[v];
+            debug_assert_ne!(reason_clause, NO_REASON, "non-UIP literal lacks reason");
+        }
+        let uip = !p.expect("1-UIP literal");
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // backtrack to the second-highest decision level in the clause
+        let mut bt = 0usize;
+        let mut max_idx = 0usize;
+        for (i, l) in learnt.iter().enumerate() {
+            let lv = self.level[l.var().index()] as usize;
+            if lv > bt {
+                bt = lv;
+                max_idx = i;
+            }
+        }
+        if !learnt.is_empty() {
+            learnt.swap(0, max_idx);
+        }
+        let mut clause = Vec::with_capacity(learnt.len() + 1);
+        clause.push(uip);
+        clause.extend(learnt);
+        (clause, bt)
+    }
+
+    /// Installs a learned clause; returns its index if it is non-unit.
+    fn learn(&mut self, clause: &[Lit]) -> u32 {
+        if clause.len() < 2 {
+            return NO_REASON;
+        }
+        let idx = self.clauses.len() as u32;
+        self.watches[clause[0].code()].push(idx);
+        self.watches[clause[1].code()].push(idx);
+        self.clauses.push(Clause {
+            lits: clause.to_vec(),
+        });
+        idx
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<usize> = None;
+        let mut best_act = f64::NEG_INFINITY;
+        for v in 0..self.num_vars() {
+            if self.assign[v] == UNASSIGNED && self.activity[v] > best_act {
+                best_act = self.activity[v];
+                best = Some(v);
+            }
+        }
+        best.map(|v| Var::from_index(v).lit(self.saved_phase[v]))
+    }
+
+    /// Solves the formula.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumptions (literals forced true for this
+    /// call only). The solver can be reused afterwards with different
+    /// assumptions or additional clauses.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        for a in assumptions {
+            assert!(a.var().index() < self.num_vars(), "assumption out of range");
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+        let mut restart_count = 0u32;
+        let mut conflicts_until_restart = 64 * luby(restart_count);
+        loop {
+            match self.propagate() {
+                Some(confl) => {
+                    self.num_conflicts += 1;
+                    if self.trail_lim.is_empty() {
+                        self.unsat = true;
+                        return SatResult::Unsat;
+                    }
+                    let (clause, bt) = self.analyze(confl);
+                    self.backtrack(bt);
+                    let asserting = clause[0];
+                    let reason = self.learn(&clause);
+                    debug_assert_eq!(self.value_lit(asserting), UNASSIGNED);
+                    self.enqueue(asserting, reason);
+                    self.var_inc /= 0.95;
+                    conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                    if conflicts_until_restart == 0 {
+                        restart_count += 1;
+                        conflicts_until_restart = 64 * luby(restart_count);
+                        self.backtrack(0);
+                    }
+                }
+                None => {
+                    // place assumptions as pseudo-decisions first
+                    if self.trail_lim.len() < assumptions.len() {
+                        let a = assumptions[self.trail_lim.len()];
+                        match self.value_lit(a) {
+                            1 => self.trail_lim.push(self.trail.len()),
+                            0 => {
+                                self.backtrack(0);
+                                return SatResult::Unsat;
+                            }
+                            _ => {
+                                self.trail_lim.push(self.trail.len());
+                                self.enqueue(a, NO_REASON);
+                            }
+                        }
+                        continue;
+                    }
+                    match self.decide() {
+                        None => {
+                            let model: Vec<bool> =
+                                self.assign.iter().map(|&v| v == 1).collect();
+                            self.backtrack(0);
+                            return SatResult::Sat(model);
+                        }
+                        Some(d) => {
+                            self.num_decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(d, NO_REASON);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VisitOutcome {
+    Keep,
+    Moved,
+    Conflict,
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...).
+fn luby(i: u32) -> u64 {
+    // find k with 2^k - 1 > i, i.e. the subsequence containing i
+    let mut i = i as u64 + 1;
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    loop {
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+        k = 1;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+
+    #[test]
+    fn trivial_sat() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.pos(), b.pos()]);
+        cnf.add_clause([a.neg(), b.pos()]);
+        let result = Solver::from_cnf(&cnf).solve();
+        let model = result.model().expect("sat");
+        assert!(model[b.index()]);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause([a.pos()]);
+        cnf.add_clause([a.neg()]);
+        assert_eq!(Solver::from_cnf(&cnf).solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let cnf = Cnf::new();
+        assert!(Solver::from_cnf(&cnf).solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new();
+        let _ = cnf.new_var();
+        cnf.add_clause([]);
+        assert_eq!(Solver::from_cnf(&cnf).solve(), SatResult::Unsat);
+    }
+
+    /// Pigeonhole PHP(n+1, n): n+1 pigeons in n holes — UNSAT and forces
+    /// real conflict analysis.
+    fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
+        let mut cnf = Cnf::new();
+        let mut grid = Vec::new();
+        for _ in 0..pigeons {
+            let row: Vec<Var> = (0..holes).map(|_| cnf.new_var()).collect();
+            grid.push(row);
+        }
+        for row in &grid {
+            cnf.add_clause(row.iter().map(|v| v.pos()));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    cnf.add_clause([grid[p1][h].neg(), grid[p2][h].neg()]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for n in 2..=5 {
+            let cnf = pigeonhole(n + 1, n);
+            assert_eq!(
+                Solver::from_cnf(&cnf).solve(),
+                SatResult::Unsat,
+                "PHP({}, {n})",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        let cnf = pigeonhole(4, 4);
+        let result = Solver::from_cnf(&cnf).solve();
+        let model = result.model().expect("sat");
+        assert!(cnf.is_satisfied_by(model));
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.pos(), b.pos()]);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert!(solver.solve_with_assumptions(&[a.neg(), b.pos()]).is_sat());
+        assert_eq!(
+            solver.solve_with_assumptions(&[a.neg(), b.neg()]),
+            SatResult::Unsat
+        );
+        // solver remains usable
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.pos(), b.pos()]);
+        let mut solver = Solver::from_cnf(&cnf);
+        assert!(solver.solve().is_sat());
+        solver.add_clause([a.neg()]);
+        assert!(solver.solve().is_sat());
+        solver.add_clause([b.neg()]);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for iter in 0..80 {
+            let nv = rng.gen_range(3..10usize);
+            let nc = rng.gen_range(1..45usize);
+            let mut cnf = Cnf::new();
+            let vars = cnf.new_vars(nv);
+            for _ in 0..nc {
+                let lits: Vec<Lit> = (0..3)
+                    .map(|_| vars[rng.gen_range(0..nv)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                cnf.add_clause(lits);
+            }
+            let brute_sat = (0..(1u32 << nv)).any(|m| {
+                let model: Vec<bool> = (0..nv).map(|i| (m >> i) & 1 == 1).collect();
+                cnf.is_satisfied_by(&model)
+            });
+            let result = Solver::from_cnf(&cnf).solve();
+            assert_eq!(result.is_sat(), brute_sat, "iteration {iter}");
+            if let SatResult::Sat(model) = result {
+                assert!(cnf.is_satisfied_by(&model), "iteration {iter} bad model");
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_agree_with_unit_clauses() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        for iter in 0..40 {
+            let nv = rng.gen_range(4..9usize);
+            let nc = rng.gen_range(5..30usize);
+            let mut cnf = Cnf::new();
+            let vars = cnf.new_vars(nv);
+            for _ in 0..nc {
+                let lits: Vec<Lit> = (0..3)
+                    .map(|_| vars[rng.gen_range(0..nv)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                cnf.add_clause(lits);
+            }
+            let assumps: Vec<Lit> = (0..rng.gen_range(1..=3))
+                .map(|_| vars[rng.gen_range(0..nv)].lit(rng.gen_bool(0.5)))
+                .collect();
+            let via_assumptions = Solver::from_cnf(&cnf)
+                .solve_with_assumptions(&assumps)
+                .is_sat();
+            let mut cnf2 = cnf.clone();
+            for &a in &assumps {
+                cnf2.add_clause([a]);
+            }
+            let via_units = Solver::from_cnf(&cnf2).solve().is_sat();
+            assert_eq!(via_assumptions, via_units, "iteration {iter}");
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u32), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let cnf = pigeonhole(5, 4);
+        let mut solver = Solver::from_cnf(&cnf);
+        let _ = solver.solve();
+        assert!(solver.num_conflicts > 0);
+        assert!(solver.num_propagations > 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! ISW private-circuit masking transform (3 shares), following the
+//! paper's Sec. II-B formulas and gate ordering.
+//!
+//! Every signal `a` is encoded as `(a1, a2, a3)` with
+//! `a = a1 ⊕ a2 ⊕ a3`. Linear gates operate share-wise; the AND gadget
+//! consumes three fresh random bits `r12, r13, r23` and computes, in the
+//! exact order of the paper (parentheses = mandatory evaluation order):
+//!
+//! ```text
+//! c1 = a1b1 ⊕ r12 ⊕ r13
+//! c2 = a2b2 ⊕ (r12 ⊕ a1b2) ⊕ a2b1 ⊕ r23
+//! c3 = a3b3 ⊕ (r13 ⊕ a1b3) ⊕ a3b1 ⊕ (r23 ⊕ a2b3) ⊕ a3b2
+//! ```
+//!
+//! Every gadget gate carries the `no_reassoc` barrier tag. A
+//! security-aware synthesis run preserves the order; a classical run
+//! (see `seceda_synth::reassociate`) factors the `a3·b_j` products and
+//! materializes the unmasked secret — Fig. 2 of the paper.
+
+use seceda_netlist::{CellKind, GateTags, NetId, Netlist};
+use seceda_synth::map_to_xag;
+use std::collections::HashMap;
+
+/// Number of shares used by the transform (fixed to the paper's 3).
+pub const NUM_SHARES: usize = 3;
+
+/// A masked netlist plus its interface bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskedNetlist {
+    /// The masked netlist. For each original input `x` it has inputs
+    /// `x_s0, x_s1, x_s2` (in original port order), followed by all
+    /// randomness inputs `rnd0, rnd1, ...`. Outputs are share triples
+    /// `y_s0, y_s1, y_s2` per original output.
+    pub netlist: Netlist,
+    /// Number of original (pre-masking) primary inputs.
+    pub num_original_inputs: usize,
+    /// Number of fresh randomness inputs appended after the share inputs.
+    pub num_randoms: usize,
+    /// Number of original primary outputs.
+    pub num_original_outputs: usize,
+}
+
+impl MaskedNetlist {
+    /// Builds a full input vector: encodes `values` into uniformly random
+    /// shares (using `share_rng_bits`, two bits per input, LSB-first from
+    /// index 0) and appends `random_bits` for the gadget randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit supplies are too short.
+    pub fn encode_inputs(
+        &self,
+        values: &[bool],
+        share_rng_bits: &[bool],
+        random_bits: &[bool],
+    ) -> Vec<bool> {
+        assert_eq!(values.len(), self.num_original_inputs, "value width");
+        assert!(
+            share_rng_bits.len() >= 2 * values.len(),
+            "need two random bits per input share encoding"
+        );
+        assert!(random_bits.len() >= self.num_randoms, "gadget randomness");
+        let mut out = Vec::with_capacity(values.len() * NUM_SHARES + self.num_randoms);
+        for (i, &v) in values.iter().enumerate() {
+            let s1 = share_rng_bits[2 * i];
+            let s2 = share_rng_bits[2 * i + 1];
+            let s0 = v ^ s1 ^ s2;
+            out.push(s0);
+            out.push(s1);
+            out.push(s2);
+        }
+        out.extend_from_slice(&random_bits[..self.num_randoms]);
+        out
+    }
+
+    /// Recombines share-triple outputs into original output values.
+    pub fn decode_outputs(&self, outputs: &[bool]) -> Vec<bool> {
+        outputs
+            .chunks(NUM_SHARES)
+            .map(|c| c.iter().fold(false, |acc, &b| acc ^ b))
+            .collect()
+    }
+}
+
+/// Applies the 3-share ISW transform to a combinational netlist.
+///
+/// The input is first mapped to XOR-AND-INV form. Gadget gates are tagged
+/// with `no_reassoc` barriers.
+///
+/// # Panics
+///
+/// Panics if the netlist is sequential or cyclic.
+pub fn mask_netlist(nl: &Netlist) -> MaskedNetlist {
+    assert!(nl.is_combinational(), "mask_netlist needs combinational logic");
+    let xag = map_to_xag(nl);
+    let order = xag.topo_order().expect("cyclic netlist");
+    let mut out = Netlist::new(format!("{}_masked", xag.name()));
+    let barrier = GateTags {
+        no_reassoc: true,
+        ..GateTags::default()
+    };
+
+    let mut shares: HashMap<usize, [NetId; NUM_SHARES]> = HashMap::new();
+    for &pi in xag.inputs() {
+        let name = xag.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
+        let triple = [
+            out.add_input(format!("{name}_s0")),
+            out.add_input(format!("{name}_s1")),
+            out.add_input(format!("{name}_s2")),
+        ];
+        shares.insert(pi.index(), triple);
+    }
+
+    // randomness inputs are created lazily per AND gadget
+    let mut num_randoms = 0usize;
+    let fresh_random = |out: &mut Netlist, num_randoms: &mut usize| {
+        let r = out.add_input(format!("rnd{num_randoms}"));
+        *num_randoms += 1;
+        r
+    };
+
+    for gid in order {
+        let g = xag.gate(gid);
+        let ins: Vec<[NetId; NUM_SHARES]> = g
+            .inputs
+            .iter()
+            .map(|&i| *shares.get(&i.index()).expect("shares known"))
+            .collect();
+        let triple: [NetId; NUM_SHARES] = match g.kind {
+            CellKind::Const0 => {
+                let z = out.add_gate(CellKind::Const0, &[]);
+                [z, z, z]
+            }
+            CellKind::Const1 => {
+                let o = out.add_gate(CellKind::Const1, &[]);
+                let z = out.add_gate(CellKind::Const0, &[]);
+                [o, z, z]
+            }
+            CellKind::Buf => ins[0],
+            CellKind::Not => {
+                // invert exactly one share
+                let n0 = out.add_gate_tagged(CellKind::Not, &[ins[0][0]], barrier);
+                [n0, ins[0][1], ins[0][2]]
+            }
+            CellKind::Xor => {
+                let a = ins[0];
+                let b = ins[1];
+                [
+                    out.add_gate_tagged(CellKind::Xor, &[a[0], b[0]], barrier),
+                    out.add_gate_tagged(CellKind::Xor, &[a[1], b[1]], barrier),
+                    out.add_gate_tagged(CellKind::Xor, &[a[2], b[2]], barrier),
+                ]
+            }
+            CellKind::And => {
+                let a = ins[0];
+                let b = ins[1];
+                let r12 = fresh_random(&mut out, &mut num_randoms);
+                let r13 = fresh_random(&mut out, &mut num_randoms);
+                let r23 = fresh_random(&mut out, &mut num_randoms);
+                let and = |out: &mut Netlist, x: NetId, y: NetId| {
+                    out.add_gate_tagged(CellKind::And, &[x, y], barrier)
+                };
+                let xor = |out: &mut Netlist, x: NetId, y: NetId| {
+                    out.add_gate_tagged(CellKind::Xor, &[x, y], barrier)
+                };
+                // c1 = a1b1 ^ r12 ^ r13
+                let a1b1 = and(&mut out, a[0], b[0]);
+                let t = xor(&mut out, a1b1, r12);
+                let c1 = xor(&mut out, t, r13);
+                // c2 = a2b2 ^ (r12 ^ a1b2) ^ a2b1 ^ r23
+                let a2b2 = and(&mut out, a[1], b[1]);
+                let a1b2 = and(&mut out, a[0], b[1]);
+                let p = xor(&mut out, r12, a1b2); // parenthesized first!
+                let t = xor(&mut out, a2b2, p);
+                let a2b1 = and(&mut out, a[1], b[0]);
+                let t = xor(&mut out, t, a2b1);
+                let c2 = xor(&mut out, t, r23);
+                // c3 = a3b3 ^ (r13 ^ a1b3) ^ a3b1 ^ (r23 ^ a2b3) ^ a3b2
+                let a3b3 = and(&mut out, a[2], b[2]);
+                let a1b3 = and(&mut out, a[0], b[2]);
+                let q = xor(&mut out, r13, a1b3);
+                let t = xor(&mut out, a3b3, q);
+                let a3b1 = and(&mut out, a[2], b[0]);
+                let t = xor(&mut out, t, a3b1);
+                let a2b3 = and(&mut out, a[1], b[2]);
+                let s = xor(&mut out, r23, a2b3);
+                let t = xor(&mut out, t, s);
+                let a3b2 = and(&mut out, a[2], b[1]);
+                let c3 = xor(&mut out, t, a3b2);
+                [c1, c2, c3]
+            }
+            k => unreachable!("map_to_xag leaves no {k} gates"),
+        };
+        shares.insert(g.output.index(), triple);
+    }
+
+    for (net, name) in xag.outputs() {
+        let triple = shares.get(&net.index()).expect("output shares");
+        for (s, &n) in triple.iter().enumerate() {
+            out.mark_output(n, format!("{name}_s{s}"));
+        }
+    }
+
+    MaskedNetlist {
+        netlist: out,
+        num_original_inputs: xag.inputs().len(),
+        num_original_outputs: xag.outputs().len(),
+        num_randoms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use seceda_netlist::{majority, Netlist};
+
+    fn single_and() -> Netlist {
+        let mut nl = Netlist::new("and");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate(CellKind::And, &[a, b]);
+        nl.mark_output(y, "y");
+        nl
+    }
+
+    fn check_masked_correctness(nl: &Netlist, trials: usize, seed: u64) {
+        let masked = mask_netlist(nl);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = nl.inputs().len();
+        for _ in 0..trials {
+            let values: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let share_bits: Vec<bool> = (0..2 * n).map(|_| rng.gen()).collect();
+            let randoms: Vec<bool> = (0..masked.num_randoms).map(|_| rng.gen()).collect();
+            let masked_in = masked.encode_inputs(&values, &share_bits, &randoms);
+            let masked_out = masked.netlist.evaluate(&masked_in);
+            let decoded = masked.decode_outputs(&masked_out);
+            assert_eq!(decoded, nl.evaluate(&values), "values {values:?}");
+        }
+    }
+
+    #[test]
+    fn masked_and_is_correct() {
+        check_masked_correctness(&single_and(), 200, 7);
+    }
+
+    #[test]
+    fn masked_majority_is_correct() {
+        check_masked_correctness(&majority(), 200, 8);
+    }
+
+    #[test]
+    fn masked_xor_chain_is_correct() {
+        let nl = seceda_netlist::parity_tree(4);
+        check_masked_correctness(&nl, 100, 9);
+    }
+
+    #[test]
+    fn and_gadget_uses_three_randoms() {
+        let masked = mask_netlist(&single_and());
+        assert_eq!(masked.num_randoms, 3);
+        // 3 share inputs per original input + 3 randoms
+        assert_eq!(masked.netlist.inputs().len(), 2 * NUM_SHARES + 3);
+        assert_eq!(masked.netlist.outputs().len(), NUM_SHARES);
+    }
+
+    #[test]
+    fn gadget_gates_carry_barriers() {
+        let masked = mask_netlist(&single_and());
+        assert!(masked
+            .netlist
+            .gates()
+            .iter()
+            .all(|g| g.tags.no_reassoc || g.kind == CellKind::Const0
+                || g.kind == CellKind::Const1));
+    }
+
+    #[test]
+    fn not_gate_masks_correctly() {
+        let mut nl = Netlist::new("inv");
+        let a = nl.add_input("a");
+        let y = nl.add_gate(CellKind::Not, &[a]);
+        nl.mark_output(y, "y");
+        check_masked_correctness(&nl, 50, 10);
+    }
+
+    #[test]
+    fn share_encoding_roundtrip() {
+        let masked = mask_netlist(&single_and());
+        let inputs = masked.encode_inputs(&[true, false], &[true, false, true, true], &[false; 3]);
+        // first triple XORs to true, second to false
+        assert!(inputs[0] ^ inputs[1] ^ inputs[2]);
+        assert!(!(inputs[3] ^ inputs[4] ^ inputs[5]));
+    }
+}

@@ -1,0 +1,194 @@
+//! Bit-parallel simulation: 64 input patterns per pass.
+//!
+//! Each net carries a `u64` whose bit *k* is the net's value under pattern
+//! *k*. This is the standard trick that makes statistical analyses (signal
+//! probabilities, MERO N-detect test generation, fault grading) tractable.
+
+use seceda_netlist::{CellKind, GateId, Netlist, NetlistError};
+
+/// Bit-parallel combinational simulator.
+///
+/// # Example
+///
+/// ```
+/// use seceda_netlist::{Netlist, CellKind};
+/// use seceda_sim::PackedSim;
+///
+/// let mut nl = Netlist::new("xor");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let y = nl.add_gate(CellKind::Xor, &[a, b]);
+/// nl.mark_output(y, "y");
+/// let sim = PackedSim::new(&nl)?;
+/// // pattern 0: a=0,b=0; pattern 1: a=1,b=0; pattern 2: a=0,b=1; pattern 3: a=1,b=1
+/// let nets = sim.eval(&[0b1010, 0b1100]);
+/// assert_eq!(sim.outputs(&nets)[0] & 0b1111, 0b0110);
+/// # Ok::<(), seceda_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedSim<'a> {
+    nl: &'a Netlist,
+    order: Vec<GateId>,
+}
+
+impl<'a> PackedSim<'a> {
+    /// Builds a packed simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] on cyclic logic.
+    pub fn new(nl: &'a Netlist) -> Result<Self, NetlistError> {
+        let order = nl.topo_order()?;
+        Ok(PackedSim { nl, order })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.nl
+    }
+
+    /// Evaluates 64 patterns at once.
+    ///
+    /// `inputs[k]` is the packed word of primary input *k* (bit *p* =
+    /// value of that input under pattern *p*). DFF outputs are treated as
+    /// constant-zero pseudo-inputs; use [`PackedSim::eval_with_state`] to
+    /// drive them.
+    ///
+    /// Returns a packed word per net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the number of primary inputs.
+    pub fn eval(&self, inputs: &[u64]) -> Vec<u64> {
+        self.eval_with_state(inputs, &vec![0u64; self.nl.dffs().len()])
+    }
+
+    /// Evaluates 64 patterns with explicit packed DFF state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/state width mismatch.
+    pub fn eval_with_state(&self, inputs: &[u64], state: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            inputs.len(),
+            self.nl.inputs().len(),
+            "input width mismatch"
+        );
+        let dffs = self.nl.dffs();
+        assert_eq!(state.len(), dffs.len(), "state width mismatch");
+        let mut values = vec![0u64; self.nl.num_nets()];
+        for (k, &pi) in self.nl.inputs().iter().enumerate() {
+            values[pi.index()] = inputs[k];
+        }
+        for (k, &d) in dffs.iter().enumerate() {
+            values[self.nl.gate(d).output.index()] = state[k];
+        }
+        for &gid in &self.order {
+            let g = self.nl.gate(gid);
+            let v = match g.kind {
+                CellKind::Const0 => 0,
+                CellKind::Const1 => u64::MAX,
+                CellKind::Buf => values[g.inputs[0].index()],
+                CellKind::Not => !values[g.inputs[0].index()],
+                CellKind::And => g
+                    .inputs
+                    .iter()
+                    .fold(u64::MAX, |acc, &i| acc & values[i.index()]),
+                CellKind::Nand => !g
+                    .inputs
+                    .iter()
+                    .fold(u64::MAX, |acc, &i| acc & values[i.index()]),
+                CellKind::Or => g.inputs.iter().fold(0, |acc, &i| acc | values[i.index()]),
+                CellKind::Nor => !g.inputs.iter().fold(0, |acc, &i| acc | values[i.index()]),
+                CellKind::Xor => g.inputs.iter().fold(0, |acc, &i| acc ^ values[i.index()]),
+                CellKind::Xnor => !g.inputs.iter().fold(0, |acc, &i| acc ^ values[i.index()]),
+                CellKind::Mux => {
+                    let s = values[g.inputs[0].index()];
+                    let a = values[g.inputs[1].index()];
+                    let b = values[g.inputs[2].index()];
+                    (!s & a) | (s & b)
+                }
+                CellKind::Dff => continue,
+            };
+            values[g.output.index()] = v;
+        }
+        values
+    }
+
+    /// Extracts the packed primary-output words from a per-net vector
+    /// returned by [`PackedSim::eval`].
+    pub fn outputs(&self, net_values: &[u64]) -> Vec<u64> {
+        self.nl
+            .outputs()
+            .iter()
+            .map(|&(n, _)| net_values[n.index()])
+            .collect()
+    }
+}
+
+/// Packs scalar pattern bits into input words: `patterns[p][k]` is the
+/// value of input *k* under pattern *p* (at most 64 patterns).
+///
+/// # Panics
+///
+/// Panics if more than 64 patterns are supplied.
+pub fn pack_patterns(patterns: &[Vec<bool>], num_inputs: usize) -> Vec<u64> {
+    assert!(patterns.len() <= 64, "at most 64 patterns per packed word");
+    let mut words = vec![0u64; num_inputs];
+    for (p, pat) in patterns.iter().enumerate() {
+        assert_eq!(pat.len(), num_inputs, "pattern width mismatch");
+        for (k, &bit) in pat.iter().enumerate() {
+            if bit {
+                words[k] |= 1 << p;
+            }
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seceda_netlist::c17;
+
+    #[test]
+    fn packed_matches_scalar_on_c17() {
+        let nl = c17();
+        let sim = PackedSim::new(&nl).expect("sim");
+        // all 32 input patterns of c17 in one packed pass
+        let patterns: Vec<Vec<bool>> = (0..32u32)
+            .map(|p| (0..5).map(|b| (p >> b) & 1 == 1).collect())
+            .collect();
+        let words = pack_patterns(&patterns, 5);
+        let nets = sim.eval(&words);
+        let outs = sim.outputs(&nets);
+        for (p, pat) in patterns.iter().enumerate() {
+            let scalar = nl.evaluate(pat);
+            for (o, &word) in outs.iter().enumerate() {
+                assert_eq!((word >> p) & 1 == 1, scalar[o], "pattern {p} output {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn constants_and_mux() {
+        use seceda_netlist::CellKind;
+        let mut nl = Netlist::new("m");
+        let s = nl.add_input("s");
+        let zero = nl.add_gate(CellKind::Const0, &[]);
+        let one = nl.add_gate(CellKind::Const1, &[]);
+        let y = nl.add_gate(CellKind::Mux, &[s, zero, one]);
+        nl.mark_output(y, "y");
+        let sim = PackedSim::new(&nl).expect("sim");
+        let nets = sim.eval(&[0b10]);
+        let outs = sim.outputs(&nets);
+        assert_eq!(outs[0] & 0b11, 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn too_many_patterns_rejected() {
+        let patterns = vec![vec![false]; 65];
+        pack_patterns(&patterns, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # seceda-synth
+//!
+//! Logic synthesis for the `seceda` toolkit — and the crate that makes the
+//! paper's central motivational example (Fig. 2) concrete.
+//!
+//! Classical synthesis is *security-unaware*: it freely re-associates XOR
+//! trees, factors shared literals, and merges structurally identical
+//! gates, because Boolean function and PPA are all it optimizes. Each of
+//! those transformations can silently destroy a countermeasure:
+//!
+//! * [`reassociate`] — flattens XOR trees and factors common AND inputs
+//!   (`a·b1 ⊕ a·b2 ⊕ a·b3 → a·(b1⊕b2⊕b3)`). On an ISW private-circuit
+//!   gadget this materializes an unmasked secret on a wire, exactly the
+//!   failure mode of Fig. 2. In [`SynthesisMode::SecurityAware`] mode the
+//!   pass honors the `no_reassoc` barrier tags emitted by the masking
+//!   transform and leaves protected trees intact.
+//! * [`dedup`] — common-subexpression elimination. Security-unaware CSE
+//!   merges the redundant copies inserted by fault-detection schemes,
+//!   silently removing the protection (the composition cross-effect of
+//!   Sec. IV).
+//! * [`fold_constants`], [`sweep`] — standard cleanup, with the same
+//!   tag-honoring discipline.
+//! * [`decompose_to_two_input`], [`map_to_nand`] — technology mapping.
+//! * [`wddl_transform`] — the WDDL dual-rail "hiding" countermeasure \[21\]
+//!   applied during synthesis: every signal gets a complementary rail, so
+//!   the switched capacitance per cycle is data-independent.
+//!
+//! [`optimize`] chains the cleanup passes into the flow entry point.
+
+mod map;
+mod reassoc;
+mod rewrite;
+mod wddl;
+
+pub use map::{decompose_to_two_input, map_to_nand, map_to_xag};
+pub use reassoc::{reassociate, ReassocReport};
+pub use rewrite::{dedup, fold_constants, optimize, sweep};
+pub use wddl::{wddl_transform, WddlNetlist};
+
+/// Whether synthesis passes respect security tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SynthesisMode {
+    /// Classical behaviour: optimize for PPA only, ignore all security
+    /// markers (Fig. 1 of the paper).
+    #[default]
+    Classical,
+    /// Honor `GateTags`: never re-associate across barriers, never merge
+    /// protected redundancy, never sweep monitors.
+    SecurityAware,
+}

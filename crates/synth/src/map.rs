@@ -1,0 +1,279 @@
+//! Technology mapping: arity decomposition and NAND-library mapping.
+
+use crate::rewrite::Rebuilder;
+use seceda_netlist::{CellKind, GateId, NetId, Netlist};
+
+/// Decomposes every gate with more than two inputs into a balanced tree
+/// of 2-input gates of the same family. MUX, DFF and 1-input cells pass
+/// through unchanged. Gate tags are inherited by every decomposed piece.
+pub fn decompose_to_two_input(nl: &Netlist) -> Netlist {
+    let order = nl.topo_order().expect("cyclic netlist");
+    let mut rb = Rebuilder::new(nl);
+    let dff_pairs: Vec<(GateId, GateId)> = nl
+        .dffs()
+        .iter()
+        .map(|&d| (d, rb.predeclare_dff(nl, d)))
+        .collect();
+    for gid in order {
+        let g = nl.gate(gid);
+        if g.inputs.len() <= 2 || matches!(g.kind, CellKind::Mux) {
+            rb.copy_gate(nl, gid);
+            continue;
+        }
+        let ins: Vec<NetId> = g.inputs.iter().map(|&i| rb.net(i)).collect();
+        // base family + optional output inversion
+        let (base, invert) = match g.kind {
+            CellKind::And => (CellKind::And, false),
+            CellKind::Nand => (CellKind::And, true),
+            CellKind::Or => (CellKind::Or, false),
+            CellKind::Nor => (CellKind::Or, true),
+            CellKind::Xor => (CellKind::Xor, false),
+            CellKind::Xnor => (CellKind::Xor, true),
+            k => unreachable!("wide {k} cannot exist"),
+        };
+        let mut layer = ins;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(
+                        rb.netlist_mut()
+                            .add_gate_tagged(base, &[pair[0], pair[1]], g.tags),
+                    );
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        let mut out = layer[0];
+        if invert {
+            out = rb.netlist_mut().add_gate_tagged(CellKind::Not, &[out], g.tags);
+        }
+        rb.alias(g.output, out);
+    }
+    for (old, new) in dff_pairs {
+        rb.patch_dff(nl, old, new);
+    }
+    rb.finish(nl)
+}
+
+/// Maps the combinational logic onto a {NAND2, NOT} library (DFFs and
+/// constants pass through). Run [`decompose_to_two_input`] first; wide
+/// gates are decomposed on the fly anyway.
+pub fn map_to_nand(nl: &Netlist) -> Netlist {
+    let two = decompose_to_two_input(nl);
+    let order = two.topo_order().expect("cyclic netlist");
+    let mut rb = Rebuilder::new(&two);
+    let dff_pairs: Vec<(GateId, GateId)> = two
+        .dffs()
+        .iter()
+        .map(|&d| (d, rb.predeclare_dff(&two, d)))
+        .collect();
+    for gid in order {
+        let g = two.gate(gid);
+        let tags = g.tags;
+        let ins: Vec<NetId> = g.inputs.iter().map(|&i| rb.net(i)).collect();
+        let nl2 = rb.netlist_mut();
+        let nand = |nl2: &mut Netlist, a: NetId, b: NetId| {
+            nl2.add_gate_tagged(CellKind::Nand, &[a, b], tags)
+        };
+        let inv = |nl2: &mut Netlist, a: NetId| nl2.add_gate_tagged(CellKind::Not, &[a], tags);
+        let out = match g.kind {
+            CellKind::Const0 | CellKind::Const1 => {
+                rb.copy_gate(&two, gid);
+                continue;
+            }
+            CellKind::Dff => unreachable!("DFFs are not in the combinational order"),
+            CellKind::Buf => ins[0],
+            CellKind::Not => inv(nl2, ins[0]),
+            CellKind::Nand => nand(nl2, ins[0], ins[1]),
+            CellKind::And => {
+                let n = nand(nl2, ins[0], ins[1]);
+                inv(nl2, n)
+            }
+            CellKind::Or => {
+                let na = inv(nl2, ins[0]);
+                let nb = inv(nl2, ins[1]);
+                nand(nl2, na, nb)
+            }
+            CellKind::Nor => {
+                let na = inv(nl2, ins[0]);
+                let nb = inv(nl2, ins[1]);
+                let o = nand(nl2, na, nb);
+                inv(nl2, o)
+            }
+            CellKind::Xor | CellKind::Xnor => {
+                // xor via four NANDs
+                let t = nand(nl2, ins[0], ins[1]);
+                let l = nand(nl2, ins[0], t);
+                let r = nand(nl2, ins[1], t);
+                let x = nand(nl2, l, r);
+                if g.kind == CellKind::Xnor {
+                    inv(nl2, x)
+                } else {
+                    x
+                }
+            }
+            CellKind::Mux => {
+                // y = (s ? b : a) = nand(nand(s, b), nand(!s, a))
+                let ns = inv(nl2, ins[0]);
+                let t1 = nand(nl2, ins[0], ins[2]);
+                let t2 = nand(nl2, ns, ins[1]);
+                nand(nl2, t1, t2)
+            }
+        };
+        rb.alias(g.output, out);
+    }
+    for (old, new) in dff_pairs {
+        rb.patch_dff(&two, old, new);
+    }
+    rb.finish(&two)
+}
+
+/// Maps the combinational logic onto an XOR-AND-INV library ({AND2, XOR2,
+/// NOT, constants}; DFFs pass through). This is the canonical input form
+/// for Boolean masking transforms, which only have gadgets for these three
+/// operations.
+pub fn map_to_xag(nl: &Netlist) -> Netlist {
+    let two = decompose_to_two_input(nl);
+    let order = two.topo_order().expect("cyclic netlist");
+    let mut rb = Rebuilder::new(&two);
+    let dff_pairs: Vec<(GateId, GateId)> = two
+        .dffs()
+        .iter()
+        .map(|&d| (d, rb.predeclare_dff(&two, d)))
+        .collect();
+    for gid in order {
+        let g = two.gate(gid);
+        let tags = g.tags;
+        let ins: Vec<NetId> = g.inputs.iter().map(|&i| rb.net(i)).collect();
+        let out = match g.kind {
+            CellKind::Const0 | CellKind::Const1 => {
+                rb.copy_gate(&two, gid);
+                continue;
+            }
+            CellKind::Dff => unreachable!("DFFs are not in the combinational order"),
+            CellKind::Buf => ins[0],
+            CellKind::Not | CellKind::And | CellKind::Xor => {
+                rb.copy_gate(&two, gid);
+                continue;
+            }
+            CellKind::Nand => {
+                let a = rb.netlist_mut().add_gate_tagged(CellKind::And, &ins, tags);
+                rb.netlist_mut().add_gate_tagged(CellKind::Not, &[a], tags)
+            }
+            CellKind::Or => {
+                // a + b = a ^ b ^ ab
+                let x = rb.netlist_mut().add_gate_tagged(CellKind::Xor, &ins, tags);
+                let a = rb.netlist_mut().add_gate_tagged(CellKind::And, &ins, tags);
+                rb.netlist_mut()
+                    .add_gate_tagged(CellKind::Xor, &[x, a], tags)
+            }
+            CellKind::Nor => {
+                let x = rb.netlist_mut().add_gate_tagged(CellKind::Xor, &ins, tags);
+                let a = rb.netlist_mut().add_gate_tagged(CellKind::And, &ins, tags);
+                let o = rb
+                    .netlist_mut()
+                    .add_gate_tagged(CellKind::Xor, &[x, a], tags);
+                rb.netlist_mut().add_gate_tagged(CellKind::Not, &[o], tags)
+            }
+            CellKind::Xnor => {
+                let x = rb.netlist_mut().add_gate_tagged(CellKind::Xor, &ins, tags);
+                rb.netlist_mut().add_gate_tagged(CellKind::Not, &[x], tags)
+            }
+            CellKind::Mux => {
+                // y = a ^ s·(a ^ b)
+                let ab = rb
+                    .netlist_mut()
+                    .add_gate_tagged(CellKind::Xor, &[ins[1], ins[2]], tags);
+                let sel = rb
+                    .netlist_mut()
+                    .add_gate_tagged(CellKind::And, &[ins[0], ab], tags);
+                rb.netlist_mut()
+                    .add_gate_tagged(CellKind::Xor, &[ins[1], sel], tags)
+            }
+        };
+        rb.alias(g.output, out);
+    }
+    for (old, new) in dff_pairs {
+        rb.patch_dff(&two, old, new);
+    }
+    rb.finish(&two)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seceda_netlist::{alu_slice, c17, majority, parity_tree};
+
+    #[test]
+    fn xag_mapping_preserves_function() {
+        for nl in [c17(), majority(), parity_tree(4), alu_slice(2)] {
+            let xag = map_to_xag(&nl);
+            assert_eq!(nl.truth_table(), xag.truth_table(), "{}", nl.name());
+            assert!(xag.gates().iter().all(|g| matches!(
+                g.kind,
+                CellKind::And | CellKind::Xor | CellKind::Not | CellKind::Const0 | CellKind::Const1
+            )));
+        }
+    }
+
+    #[test]
+    fn decompose_preserves_function() {
+        let mut nl = Netlist::new("wide");
+        let ins: Vec<_> = (0..5).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let a = nl.add_gate(CellKind::And, &ins);
+        let x = nl.add_gate(CellKind::Xnor, &ins);
+        let o = nl.add_gate(CellKind::Nor, &ins);
+        nl.mark_output(a, "a");
+        nl.mark_output(x, "x");
+        nl.mark_output(o, "o");
+        let two = decompose_to_two_input(&nl);
+        assert_eq!(nl.truth_table(), two.truth_table());
+        assert!(two.gates().iter().all(|g| g.inputs.len() <= 3));
+        assert!(two
+            .gates()
+            .iter()
+            .filter(|g| g.kind != CellKind::Mux)
+            .all(|g| g.inputs.len() <= 2));
+    }
+
+    #[test]
+    fn nand_mapping_preserves_benchmarks() {
+        for nl in [c17(), majority(), parity_tree(5)] {
+            let mapped = map_to_nand(&nl);
+            assert_eq!(nl.truth_table(), mapped.truth_table(), "{}", nl.name());
+            assert!(mapped
+                .gates()
+                .iter()
+                .all(|g| matches!(
+                    g.kind,
+                    CellKind::Nand | CellKind::Not | CellKind::Const0 | CellKind::Const1
+                )));
+        }
+    }
+
+    #[test]
+    fn nand_mapping_handles_mux_heavy_designs() {
+        let nl = alu_slice(2);
+        let mapped = map_to_nand(&nl);
+        assert_eq!(nl.truth_table(), mapped.truth_table());
+    }
+
+    #[test]
+    fn tags_survive_mapping() {
+        use seceda_netlist::GateTags;
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let bar = GateTags {
+            no_reassoc: true,
+            ..GateTags::default()
+        };
+        let y = nl.add_gate_tagged(CellKind::Xor, &[a, b], bar);
+        nl.mark_output(y, "y");
+        let mapped = map_to_nand(&nl);
+        assert!(mapped.gates().iter().all(|g| g.tags.no_reassoc));
+    }
+}

@@ -1,0 +1,231 @@
+//! WDDL dual-rail transform — gate-level "hiding" at logic synthesis \[21\].
+//!
+//! Wave dynamic differential logic represents every signal `s` as a
+//! complementary rail pair `(s_t, s_f)` with the invariant `s_f = !s_t`
+//! during evaluation. Because exactly one rail of every pair is 1 at any
+//! time, the Hamming weight of the dual-rail netlist is a constant
+//! independent of the processed data — the information a Hamming-weight
+//! side channel sees is gone.
+//!
+//! The transform uses only positive (monotone) gates so the precharge
+//! wave can propagate in real WDDL: AND → (AND, OR), OR → (OR, AND),
+//! inversion is a free rail swap, XOR is built from AND/OR on both rails.
+
+use seceda_netlist::{CellKind, NetId, Netlist};
+use std::collections::HashMap;
+
+/// Result of the WDDL transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WddlNetlist {
+    /// The dual-rail netlist. For every original input `x` it has inputs
+    /// `x_t`, `x_f` (in that order); outputs likewise duplicated.
+    pub netlist: Netlist,
+    /// Pairs `(true_rail, false_rail)` for every original net that was
+    /// converted, keyed by the original net index.
+    pub rails: HashMap<usize, (NetId, NetId)>,
+}
+
+impl WddlNetlist {
+    /// Expands a single-rail input vector to the dual-rail convention.
+    pub fn expand_inputs(inputs: &[bool]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(inputs.len() * 2);
+        for &b in inputs {
+            out.push(b);
+            out.push(!b);
+        }
+        out
+    }
+
+    /// Collapses dual-rail outputs back to single-rail values (taking the
+    /// true rails).
+    pub fn collapse_outputs(outputs: &[bool]) -> Vec<bool> {
+        outputs.iter().step_by(2).copied().collect()
+    }
+}
+
+/// Applies the WDDL dual-rail transform to a combinational netlist.
+///
+/// # Panics
+///
+/// Panics if the netlist is sequential or cyclic (WDDL registers need a
+/// precharge protocol this model does not implement).
+pub fn wddl_transform(nl: &Netlist) -> WddlNetlist {
+    assert!(
+        nl.is_combinational(),
+        "wddl_transform supports combinational netlists only"
+    );
+    let order = nl.topo_order().expect("cyclic netlist");
+    let mut out = Netlist::new(format!("{}_wddl", nl.name()));
+    let mut rails: HashMap<usize, (NetId, NetId)> = HashMap::new();
+
+    for &pi in nl.inputs() {
+        let name = nl.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
+        let t = out.add_input(format!("{name}_t"));
+        let f = out.add_input(format!("{name}_f"));
+        rails.insert(pi.index(), (t, f));
+    }
+
+    for gid in order {
+        let g = nl.gate(gid);
+        let ins: Vec<(NetId, NetId)> = g
+            .inputs
+            .iter()
+            .map(|&i| *rails.get(&i.index()).expect("input rails known"))
+            .collect();
+        let pair = match g.kind {
+            CellKind::Const0 => {
+                let t = out.add_gate(CellKind::Const0, &[]);
+                let f = out.add_gate(CellKind::Const1, &[]);
+                (t, f)
+            }
+            CellKind::Const1 => {
+                let t = out.add_gate(CellKind::Const1, &[]);
+                let f = out.add_gate(CellKind::Const0, &[]);
+                (t, f)
+            }
+            CellKind::Buf => ins[0],
+            CellKind::Not => (ins[0].1, ins[0].0), // free rail swap
+            CellKind::And | CellKind::Nand => {
+                let ts: Vec<NetId> = ins.iter().map(|p| p.0).collect();
+                let fs: Vec<NetId> = ins.iter().map(|p| p.1).collect();
+                let t = out.add_gate(CellKind::And, &ts);
+                let f = out.add_gate(CellKind::Or, &fs);
+                if g.kind == CellKind::Nand {
+                    (f, t)
+                } else {
+                    (t, f)
+                }
+            }
+            CellKind::Or | CellKind::Nor => {
+                let ts: Vec<NetId> = ins.iter().map(|p| p.0).collect();
+                let fs: Vec<NetId> = ins.iter().map(|p| p.1).collect();
+                let t = out.add_gate(CellKind::Or, &ts);
+                let f = out.add_gate(CellKind::And, &fs);
+                if g.kind == CellKind::Nor {
+                    (f, t)
+                } else {
+                    (t, f)
+                }
+            }
+            CellKind::Xor | CellKind::Xnor => {
+                // fold pairwise: xor_t = at·bf + af·bt ; xor_f = at·bt + af·bf
+                let mut acc = ins[0];
+                for &(bt, bf) in &ins[1..] {
+                    let (at, af) = acc;
+                    let t1 = out.add_gate(CellKind::And, &[at, bf]);
+                    let t2 = out.add_gate(CellKind::And, &[af, bt]);
+                    let t = out.add_gate(CellKind::Or, &[t1, t2]);
+                    let f1 = out.add_gate(CellKind::And, &[at, bt]);
+                    let f2 = out.add_gate(CellKind::And, &[af, bf]);
+                    let f = out.add_gate(CellKind::Or, &[f1, f2]);
+                    acc = (t, f);
+                }
+                if g.kind == CellKind::Xnor {
+                    (acc.1, acc.0)
+                } else {
+                    acc
+                }
+            }
+            CellKind::Mux => {
+                // y = s·b + !s·a, dual rail with monotone gates
+                let (st, sf) = ins[0];
+                let (at, af) = ins[1];
+                let (bt, bf) = ins[2];
+                let t1 = out.add_gate(CellKind::And, &[st, bt]);
+                let t2 = out.add_gate(CellKind::And, &[sf, at]);
+                let t = out.add_gate(CellKind::Or, &[t1, t2]);
+                let f1 = out.add_gate(CellKind::And, &[st, bf]);
+                let f2 = out.add_gate(CellKind::And, &[sf, af]);
+                let f = out.add_gate(CellKind::Or, &[f1, f2]);
+                (t, f)
+            }
+            CellKind::Dff => unreachable!("combinational only"),
+        };
+        rails.insert(g.output.index(), pair);
+    }
+
+    for (net, name) in nl.outputs() {
+        let (t, f) = *rails.get(&net.index()).expect("output rails known");
+        out.mark_output(t, format!("{name}_t"));
+        out.mark_output(f, format!("{name}_f"));
+    }
+
+    WddlNetlist {
+        netlist: out,
+        rails,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seceda_netlist::{c17, majority, parity_tree};
+
+    fn check_wddl(nl: &Netlist) {
+        let wddl = wddl_transform(nl);
+        let n = nl.inputs().len();
+        let mut hw_values = Vec::new();
+        for pattern in 0..(1u32 << n) {
+            let inputs: Vec<bool> = (0..n).map(|b| (pattern >> b) & 1 == 1).collect();
+            let expect = nl.evaluate(&inputs);
+            let dual_in = WddlNetlist::expand_inputs(&inputs);
+            let dual_out = wddl.netlist.evaluate(&dual_in);
+            assert_eq!(
+                WddlNetlist::collapse_outputs(&dual_out),
+                expect,
+                "function must survive the transform"
+            );
+            // complementarity of every rail pair
+            let values = wddl.netlist.eval_nets(&dual_in, &[]).expect("eval");
+            let mut hw = 0usize;
+            for (&orig, &(t, f)) in &wddl.rails {
+                let _ = orig;
+                assert_ne!(values[t.index()], values[f.index()], "rails must differ");
+                hw += values[t.index()] as usize + values[f.index()] as usize;
+            }
+            hw_values.push(hw);
+        }
+        // hiding property: constant Hamming weight across all inputs
+        assert!(
+            hw_values.windows(2).all(|w| w[0] == w[1]),
+            "dual-rail HW must be data-independent: {hw_values:?}"
+        );
+    }
+
+    #[test]
+    fn wddl_on_c17() {
+        check_wddl(&c17());
+    }
+
+    #[test]
+    fn wddl_on_majority() {
+        check_wddl(&majority());
+    }
+
+    #[test]
+    fn wddl_on_parity() {
+        check_wddl(&parity_tree(4));
+    }
+
+    #[test]
+    fn wddl_handles_mux_and_constants() {
+        let mut nl = Netlist::new("mc");
+        let s = nl.add_input("s");
+        let a = nl.add_input("a");
+        let one = nl.add_gate(CellKind::Const1, &[]);
+        let m = nl.add_gate(CellKind::Mux, &[s, a, one]);
+        let n = nl.add_gate(CellKind::Not, &[m]);
+        nl.mark_output(n, "y");
+        check_wddl(&nl);
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational")]
+    fn sequential_rejected() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let q = nl.add_gate(CellKind::Dff, &[a]);
+        nl.mark_output(q, "q");
+        wddl_transform(&nl);
+    }
+}

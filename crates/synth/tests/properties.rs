@@ -1,0 +1,102 @@
+//! Property-based tests for the synthesis passes, including the
+//! security-vs-optimization contract: classical mode may restructure
+//! anything; security-aware mode must leave protected gates alone.
+
+use proptest::prelude::*;
+use seceda_netlist::{random_circuit, GateTags, Netlist, RandomCircuitConfig};
+use seceda_synth::{
+    decompose_to_two_input, dedup, fold_constants, map_to_nand, map_to_xag, optimize,
+    reassociate, sweep, wddl_transform, SynthesisMode, WddlNetlist,
+};
+
+fn host(seed: u64, gates: usize) -> Netlist {
+    random_circuit(&RandomCircuitConfig {
+        num_inputs: 5,
+        num_gates: gates,
+        num_outputs: 3,
+        with_xor: true,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_pass_preserves_function(seed in 0u64..5000, gates in 3usize..45) {
+        let nl = host(seed, gates);
+        let reference = nl.truth_table();
+        for (name, result) in [
+            ("fold", fold_constants(&nl, SynthesisMode::Classical)),
+            ("dedup", dedup(&nl, SynthesisMode::Classical)),
+            ("sweep", sweep(&nl, SynthesisMode::Classical)),
+            ("optimize", optimize(&nl, SynthesisMode::Classical)),
+            ("decompose", decompose_to_two_input(&nl)),
+            ("nand", map_to_nand(&nl)),
+            ("xag", map_to_xag(&nl)),
+            ("reassoc", reassociate(&nl, SynthesisMode::Classical).0),
+            ("reassoc-aware", reassociate(&nl, SynthesisMode::SecurityAware).0),
+        ] {
+            prop_assert!(result.validate().is_ok(), "{} broke structure", name);
+            prop_assert_eq!(result.truth_table(), reference.clone(), "{} broke function", name);
+        }
+    }
+
+    #[test]
+    fn optimization_never_grows_the_netlist(seed in 0u64..5000, gates in 3usize..45) {
+        let nl = host(seed, gates);
+        let optimized = optimize(&nl, SynthesisMode::Classical);
+        prop_assert!(optimized.num_gates() <= nl.num_gates());
+    }
+
+    #[test]
+    fn security_aware_mode_preserves_all_protected_gates(
+        seed in 0u64..5000,
+        gates in 3usize..30,
+        protect_every in 2usize..5,
+    ) {
+        // tag a subset of gates as protected redundancy; count survivors
+        let mut nl = host(seed, gates);
+        let mut protected = 0usize;
+        for gi in 0..nl.num_gates() {
+            if gi % protect_every == 0 {
+                let gid = seceda_netlist::GateId::from_index(gi);
+                nl.gate_mut(gid).tags = GateTags {
+                    redundancy: true,
+                    ..GateTags::default()
+                };
+                protected += 1;
+            }
+        }
+        let aware = dedup(&fold_constants(&nl, SynthesisMode::SecurityAware), SynthesisMode::SecurityAware);
+        let survivors = aware.gates().iter().filter(|g| g.tags.redundancy).count();
+        prop_assert_eq!(survivors, protected, "security-aware passes must keep protected gates");
+    }
+
+    #[test]
+    fn wddl_keeps_constant_hamming_weight(seed in 0u64..3000, gates in 3usize..25) {
+        let nl = host(seed, gates);
+        let wddl = wddl_transform(&nl);
+        let mut weights = std::collections::BTreeSet::new();
+        for pattern in 0..32u32 {
+            let inputs: Vec<bool> = (0..5).map(|b| (pattern >> b) & 1 == 1).collect();
+            prop_assert_eq!(
+                WddlNetlist::collapse_outputs(
+                    &wddl.netlist.evaluate(&WddlNetlist::expand_inputs(&inputs))
+                ),
+                nl.evaluate(&inputs)
+            );
+            let values = wddl
+                .netlist
+                .eval_nets(&WddlNetlist::expand_inputs(&inputs), &[])
+                .expect("eval");
+            let hw: usize = wddl
+                .rails
+                .values()
+                .map(|&(t, f)| values[t.index()] as usize + values[f.index()] as usize)
+                .sum();
+            weights.insert(hw);
+        }
+        prop_assert_eq!(weights.len(), 1, "hiding requires data-independent HW");
+    }
+}

@@ -1,0 +1,203 @@
+//! Quiescent-current (IDDQ) Trojan detection over multiple supply
+//! domains \[60\].
+//!
+//! Each gate draws a kind-dependent leakage current with process
+//! variation. The die is partitioned into supply domains (consecutive
+//! gate-index ranges standing in for power-pad regions); a Trojan's
+//! extra gates raise the current of their domain beyond the golden
+//! population's envelope. Regional measurement is what makes small
+//! Trojans visible — globally their contribution drowns in variation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seceda_netlist::{CellKind, Netlist};
+
+/// IDDQ analysis parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IddqConfig {
+    /// Number of supply domains (power pads).
+    pub domains: usize,
+    /// Relative process variation of each gate's leakage.
+    pub process_sigma: f64,
+    /// Golden population size.
+    pub golden_chips: usize,
+    /// Flag threshold in golden standard deviations.
+    pub threshold_sigmas: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IddqConfig {
+    fn default() -> Self {
+        IddqConfig {
+            domains: 4,
+            process_sigma: 0.05,
+            golden_chips: 40,
+            threshold_sigmas: 4.0,
+            seed: 0x1DD0,
+        }
+    }
+}
+
+/// Per-domain verdicts for one suspect chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IddqReport {
+    /// Measured current per domain.
+    pub measured: Vec<f64>,
+    /// Golden mean per domain.
+    pub golden_mean: Vec<f64>,
+    /// Golden standard deviation per domain.
+    pub golden_std: Vec<f64>,
+    /// `true` per domain that exceeded the threshold.
+    pub flagged: Vec<bool>,
+}
+
+impl IddqReport {
+    /// `true` if any domain was flagged.
+    pub fn detected(&self) -> bool {
+        self.flagged.iter().any(|&f| f)
+    }
+}
+
+/// Nominal leakage per cell kind (arbitrary units).
+fn leakage(kind: CellKind) -> f64 {
+    match kind {
+        CellKind::Const0 | CellKind::Const1 => 0.0,
+        CellKind::Buf | CellKind::Not => 0.5,
+        CellKind::Nand | CellKind::Nor => 1.0,
+        CellKind::And | CellKind::Or => 1.5,
+        CellKind::Xor | CellKind::Xnor | CellKind::Mux => 2.5,
+        CellKind::Dff => 4.0,
+    }
+}
+
+/// Measures one chip's per-domain IDDQ. The *golden reference netlist*
+/// defines the domain boundaries: gates are assigned round-robin by
+/// index over `domains`, and any extra gates a Trojaned suspect carries
+/// land in their natural domains too.
+fn measure(nl: &Netlist, domains: usize, sigma: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut sums = vec![0.0; domains];
+    for (gi, g) in nl.gates().iter().enumerate() {
+        let nominal = leakage(g.kind);
+        let value = nominal * (1.0 + sigma * rng.gen_range(-1.7..1.7));
+        sums[gi % domains] += value;
+    }
+    sums
+}
+
+/// Runs the regional IDDQ test: characterizes the golden population from
+/// `golden` and measures `suspect`.
+pub fn iddq_detect(
+    golden: &Netlist,
+    suspect: &Netlist,
+    config: &IddqConfig,
+    chip_seed: u64,
+) -> IddqReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); config.domains];
+    for _ in 0..config.golden_chips {
+        let chip = measure(golden, config.domains, config.process_sigma, &mut rng);
+        for (d, v) in chip.into_iter().enumerate() {
+            samples[d].push(v);
+        }
+    }
+    let golden_mean: Vec<f64> = samples
+        .iter()
+        .map(|s| s.iter().sum::<f64>() / s.len().max(1) as f64)
+        .collect();
+    let golden_std: Vec<f64> = samples
+        .iter()
+        .zip(&golden_mean)
+        .map(|(s, m)| {
+            (s.iter().map(|x| (x - m).powi(2)).sum::<f64>() / s.len().max(1) as f64)
+                .sqrt()
+                .max(1e-6)
+        })
+        .collect();
+    let mut chip_rng = StdRng::seed_from_u64(chip_seed);
+    let measured = measure(suspect, config.domains, config.process_sigma, &mut chip_rng);
+    let flagged: Vec<bool> = measured
+        .iter()
+        .zip(&golden_mean)
+        .zip(&golden_std)
+        .map(|((m, mu), sd)| (m - mu) > config.threshold_sigmas * sd)
+        .collect();
+    IddqReport {
+        measured,
+        golden_mean,
+        golden_std,
+        flagged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insert::{insert_trojan, TrojanConfig};
+    use seceda_netlist::{random_circuit, RandomCircuitConfig};
+
+    fn host() -> Netlist {
+        random_circuit(&RandomCircuitConfig {
+            num_gates: 200,
+            num_inputs: 12,
+            num_outputs: 6,
+            with_xor: false,
+            ..RandomCircuitConfig::default()
+        })
+    }
+
+    #[test]
+    fn genuine_chips_pass() {
+        let nl = host();
+        let config = IddqConfig::default();
+        let mut false_positives = 0;
+        for chip in 0..20 {
+            if iddq_detect(&nl, &nl, &config, 100 + chip).detected() {
+                false_positives += 1;
+            }
+        }
+        assert!(false_positives <= 2, "{false_positives}/20 false positives");
+    }
+
+    #[test]
+    fn trojaned_chips_detected_regionally() {
+        let nl = host();
+        let trojan = insert_trojan(&nl, &TrojanConfig::default()).expect("insert");
+        let config = IddqConfig::default();
+        let mut detections = 0;
+        for chip in 0..20 {
+            if iddq_detect(&nl, &trojan.netlist, &config, 200 + chip).detected() {
+                detections += 1;
+            }
+        }
+        assert!(
+            detections >= 15,
+            "extra Trojan gates must raise some domain: {detections}/20"
+        );
+    }
+
+    #[test]
+    fn regional_beats_global_for_small_trojans() {
+        let nl = host();
+        let trojan = insert_trojan(&nl, &TrojanConfig::default()).expect("insert");
+        let regional = IddqConfig::default();
+        let global = IddqConfig {
+            domains: 1,
+            ..IddqConfig::default()
+        };
+        let mut regional_hits = 0;
+        let mut global_hits = 0;
+        for chip in 0..20 {
+            if iddq_detect(&nl, &trojan.netlist, &regional, 300 + chip).detected() {
+                regional_hits += 1;
+            }
+            if iddq_detect(&nl, &trojan.netlist, &global, 300 + chip).detected() {
+                global_hits += 1;
+            }
+        }
+        assert!(
+            regional_hits >= global_hits,
+            "finer domains see smaller anomalies: {regional_hits} vs {global_hits}"
+        );
+    }
+}

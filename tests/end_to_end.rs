@@ -1,0 +1,122 @@
+//! End-to-end integration tests spanning the whole workspace: designs
+//! travel from construction through synthesis, physical design,
+//! protection, attack, and verification.
+
+use seceda_cipher::ToyCipher;
+use seceda_core::{run_classical_flow, run_secure_flow};
+use seceda_layout::{place, proximity_attack, route, split_at, PlacementConfig, RouteConfig};
+use seceda_lock::{sat_attack, xor_lock};
+use seceda_netlist::{bits_to_u64, u64_to_bits, CellKind, Netlist};
+use seceda_sca::{first_order_leaks, mask_netlist, ProbingModel};
+use seceda_synth::{map_to_nand, optimize, SynthesisMode};
+use seceda_verif::{check_equivalence, EquivResult};
+
+fn and_gadget() -> Netlist {
+    let mut nl = Netlist::new("and");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let y = nl.add_gate(CellKind::And, &[a, b]);
+    nl.mark_output(y, "y");
+    nl
+}
+
+#[test]
+fn toy_cipher_survives_the_whole_classical_flow() {
+    let nl = ToyCipher::netlist();
+    let report = run_classical_flow(&nl).expect("flow");
+    // function preserved on an untagged design: spot-check against the
+    // software model
+    for (pt, key) in [(0x1234u16, 0xBEEFu16), (0xFFFF, 0x0001), (0x0F0F, 0xA5A5)] {
+        let mut inputs = u64_to_bits(pt as u64, 16);
+        inputs.extend(u64_to_bits(key as u64, 16));
+        let hw = bits_to_u64(&report.result.evaluate(&inputs)) as u16;
+        assert_eq!(hw, ToyCipher::new(key).encrypt(pt), "pt {pt:#x} key {key:#x}");
+    }
+    // and the flow should have shrunk the mux-tree S-boxes
+    assert!(report.result.num_gates() <= nl.num_gates());
+}
+
+#[test]
+fn masked_design_survives_only_the_secure_flow() {
+    let masked = mask_netlist(&and_gadget());
+    let model = ProbingModel::of(&masked);
+
+    let classical = run_classical_flow(&masked.netlist).expect("flow");
+    let secure = run_secure_flow(&masked.netlist).expect("flow");
+
+    // the classical result still computes the right function...
+    let equiv = check_equivalence(&masked.netlist, &classical.result).expect("equiv");
+    assert_eq!(equiv, EquivResult::Equivalent);
+    // ...but leaks; the secure result does not
+    assert!(!first_order_leaks(&classical.result, &model).is_empty());
+    assert!(first_order_leaks(&secure.result, &model).is_empty());
+}
+
+#[test]
+fn locked_design_placed_routed_split_and_attacked() {
+    // lock the toy cipher datapath, run physical design, split it, and
+    // confirm both the foundry-level and the oracle-level attack models
+    // behave as published
+    let nl = seceda_netlist::c17();
+    let locked = xor_lock(&nl, 10, 77);
+    let synthesized = optimize(&locked.netlist, SynthesisMode::SecurityAware);
+    // key gates must survive security-aware optimization
+    let key_gates = synthesized.gates().iter().filter(|g| g.tags.key_gate).count();
+    assert_eq!(key_gates, 10);
+
+    let placement = place(&synthesized, &PlacementConfig::default());
+    let routed = route(&synthesized, &placement, &RouteConfig::default());
+    let view = split_at(&routed, 3);
+    let proximity = proximity_attack(&synthesized, &view);
+    assert!(proximity.ccr < 1.0, "split must hide something");
+
+    // oracle-guided SAT attack still defeats XOR locking
+    let locked_after_synth = seceda_lock::LockedNetlist {
+        netlist: synthesized,
+        correct_key: locked.correct_key.clone(),
+        num_original_inputs: locked.num_original_inputs,
+    };
+    let result = sat_attack(&locked_after_synth, |x| nl.evaluate(x))
+        .expect("attack")
+        .expect("key");
+    for pattern in 0..32u32 {
+        let inputs: Vec<bool> = (0..5).map(|b| (pattern >> b) & 1 == 1).collect();
+        assert_eq!(
+            locked_after_synth.evaluate_with_key(&inputs, &result.key),
+            nl.evaluate(&inputs)
+        );
+    }
+}
+
+#[test]
+fn nand_mapping_then_masking_then_probing() {
+    // tech-map first (as a real flow would), then mask, then verify: the
+    // masking transform must handle a NAND-only netlist
+    let nand = map_to_nand(&and_gadget());
+    let masked = mask_netlist(&nand);
+    let model = ProbingModel::of(&masked);
+    assert!(first_order_leaks(&masked.netlist, &model).is_empty());
+    // functional correctness of the masked NAND-mapped design
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..50 {
+        let a: bool = rng.gen();
+        let b: bool = rng.gen();
+        let shares: Vec<bool> = (0..4).map(|_| rng.gen()).collect();
+        let randoms: Vec<bool> = (0..masked.num_randoms).map(|_| rng.gen()).collect();
+        let inputs = masked.encode_inputs(&[a, b], &shares, &randoms);
+        let outs = masked.netlist.evaluate(&inputs);
+        assert_eq!(masked.decode_outputs(&outs), vec![a & b]);
+    }
+}
+
+#[test]
+fn secure_flow_is_idempotent_on_its_own_output() {
+    let masked = mask_netlist(&and_gadget());
+    let once = run_secure_flow(&masked.netlist).expect("flow");
+    let twice = run_secure_flow(&once.result).expect("flow");
+    assert!(twice.equivalence_checked);
+    let barriers = |n: &Netlist| n.gates().iter().filter(|g| g.tags.no_reassoc).count();
+    assert_eq!(barriers(&once.result), barriers(&twice.result));
+}
