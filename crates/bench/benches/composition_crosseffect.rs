@@ -2,9 +2,9 @@
 //! then parity-based fault detection, with the engine catching the
 //! conflict, versus masking then share-wise duplication.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use seceda_core::{CompositionEngine, Countermeasure, DesignUnderTest, SecurityEvaluation};
 use seceda_netlist::{CellKind, Netlist};
+use seceda_testkit::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn and_gadget() -> Netlist {
@@ -33,7 +33,10 @@ fn print_artifact() {
     println!("|---|---|---|");
     for (label, cm) in [
         ("masking → parity check", Countermeasure::ParityCheck),
-        ("masking → duplication+compare", Countermeasure::DuplicationCompare),
+        (
+            "masking → duplication+compare",
+            Countermeasure::DuplicationCompare,
+        ),
     ] {
         let (_pass, regressions) = run_sequence(cm);
         // piracy/trojan metrics are orthogonal here; report SCA+FIA verdicts

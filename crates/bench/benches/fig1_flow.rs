@@ -1,9 +1,9 @@
 //! Fig. 1 regeneration: the classical EDA flow pipeline, stage by stage,
 //! on the toy-cipher datapath — and its security-centric counterpart.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use seceda_cipher::ToyCipher;
 use seceda_core::{run_classical_flow, run_secure_flow};
+use seceda_testkit::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn print_artifact() {

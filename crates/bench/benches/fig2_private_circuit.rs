@@ -3,13 +3,12 @@
 //!
 //! Prints the measured artifact once, then times the experiment kernels.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use seceda_bench::masked_and_gadget;
 use seceda_sca::{
-    acquire_fixed_vs_random, first_order_leaks, tvla, MaskedNetlist, TraceCampaign,
-    TVLA_THRESHOLD,
+    acquire_fixed_vs_random, first_order_leaks, tvla, MaskedNetlist, TraceCampaign, TVLA_THRESHOLD,
 };
 use seceda_synth::{reassociate, SynthesisMode};
+use seceda_testkit::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn print_artifact() {
@@ -20,8 +19,7 @@ fn print_artifact() {
         traces_per_group: 2000,
         ..TraceCampaign::default()
     };
-    let secure_groups =
-        acquire_fixed_vs_random(&masked, &[true, true], &campaign).expect("traces");
+    let secure_groups = acquire_fixed_vs_random(&masked, &[true, true], &campaign).expect("traces");
     let t_secure = tvla(&secure_groups.fixed, &secure_groups.random).max_abs_t;
     let broken = MaskedNetlist {
         netlist: classical.clone(),
@@ -66,7 +64,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(seceda_sca::mask_netlist(black_box(&nl))))
     });
     c.bench_function("fig2/classical_reassociation", |b| {
-        b.iter(|| black_box(reassociate(black_box(&masked.netlist), SynthesisMode::Classical)))
+        b.iter(|| {
+            black_box(reassociate(
+                black_box(&masked.netlist),
+                SynthesisMode::Classical,
+            ))
+        })
     });
     c.bench_function("fig2/exact_probing_check", |b| {
         b.iter(|| black_box(first_order_leaks(black_box(&masked.netlist), &model)))

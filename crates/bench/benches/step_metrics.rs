@@ -6,12 +6,12 @@
 //! contrasted with a PPA sweep (area vs. key width); the step score
 //! quantifies the difference.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use seceda_core::{explore, step_score};
 use seceda_layout::{place, proximity_attack, route, split_at, PlacementConfig, RouteConfig};
 use seceda_lock::{sat_attack, sfll_hd0, xor_lock};
 use seceda_netlist::{c17, random_circuit, NetlistStats, RandomCircuitConfig};
 use seceda_puf::{collect_crps, model_arbiter_puf, ArbiterPuf, ArbiterPufConfig};
+use seceda_testkit::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn sat_effort_sweep() -> seceda_core::DseSweep {

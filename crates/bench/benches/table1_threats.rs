@@ -1,9 +1,9 @@
 //! Table I regeneration: the four threat rows with measured evidence.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use seceda_core::table1;
 use seceda_lock::{sat_attack, xor_lock};
 use seceda_netlist::c17;
+use seceda_testkit::bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

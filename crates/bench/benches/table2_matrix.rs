@@ -1,10 +1,10 @@
 //! Table II regeneration: six design stages × four threat vectors, all
 //! 24 cells backed by experiments on the seceda substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use seceda_core::table2;
 use seceda_fia::{analyze_faults, duplicate_with_compare, FaultCampaign, InjectionModel};
 use seceda_netlist::majority;
+use seceda_testkit::bench::{criterion_group, criterion_main, Criterion};
 use seceda_verif::prove_detection;
 use std::hint::black_box;
 

@@ -11,9 +11,7 @@ use seceda_layout::{place, proximity_attack, route, split_at, PlacementConfig, R
 use seceda_lock::{sat_attack, xor_lock};
 use seceda_netlist::{c17, random_circuit, NetlistStats, RandomCircuitConfig};
 use seceda_puf::{collect_crps, model_arbiter_puf, ArbiterPuf, ArbiterPufConfig};
-use seceda_sca::{
-    acquire_fixed_vs_random, first_order_leaks, tvla, MaskedNetlist, TraceCampaign,
-};
+use seceda_sca::{acquire_fixed_vs_random, first_order_leaks, tvla, MaskedNetlist, TraceCampaign};
 use seceda_synth::{reassociate, SynthesisMode};
 
 fn main() {

@@ -29,5 +29,7 @@ mod netlist_gen;
 mod toy;
 
 pub use aes::{Aes128, AES_SBOX};
-pub use netlist_gen::{mux_tree, sbox_first_round_netlist, sbox_first_round_registered, sbox_netlist, table_lookup};
+pub use netlist_gen::{
+    mux_tree, sbox_first_round_netlist, sbox_first_round_registered, sbox_netlist, table_lookup,
+};
 pub use toy::{ToyCipher, TOY_PERM, TOY_ROUNDS, TOY_SBOX};

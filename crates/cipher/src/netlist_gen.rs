@@ -130,7 +130,11 @@ mod tests {
         let y = mux_tree(&mut nl, &sel, &leaves);
         nl.mark_output(y, "y");
         for (i, &expect) in leaves.iter().enumerate() {
-            assert_eq!(nl.evaluate(&u64_to_bits(i as u64, 3))[0], expect, "index {i}");
+            assert_eq!(
+                nl.evaluate(&u64_to_bits(i as u64, 3))[0],
+                expect,
+                "index {i}"
+            );
         }
     }
 

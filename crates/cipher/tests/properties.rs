@@ -1,8 +1,8 @@
 //! Property-based tests for the cipher substrate.
 
-use proptest::prelude::*;
 use seceda_cipher::{Aes128, ToyCipher, AES_SBOX};
 use seceda_netlist::{bits_to_u64, u64_to_bits};
+use seceda_testkit::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -15,7 +15,10 @@
 
 use crate::metrics::{MetricValue, SecurityMetric, SecurityReport};
 use crate::threat::ThreatVector;
-use seceda_fia::{analyze_faults, duplicate_with_compare, parity_protect, FaultCampaign, InjectionModel, ProtectedNetlist};
+use seceda_fia::{
+    analyze_faults, duplicate_with_compare, parity_protect, FaultCampaign, InjectionModel,
+    ProtectedNetlist,
+};
 use seceda_lock::xor_lock;
 use seceda_netlist::{Netlist, NetlistError};
 use seceda_sca::{first_order_leaks, mask_netlist, ProbingModel};
@@ -423,7 +426,9 @@ mod tests {
             .find(|m| m.name == "locking key bits")
             .expect("metric");
         assert_eq!(piracy.verdict, V::Pass);
-        let monitored = engine.apply(Countermeasure::TrojanMonitor).expect("monitor");
+        let monitored = engine
+            .apply(Countermeasure::TrojanMonitor)
+            .expect("monitor");
         let trojan = monitored
             .report
             .metrics
@@ -438,7 +443,9 @@ mod tests {
         let mut engine = CompositionEngine::new(and_gadget(), SecurityEvaluation::default());
         engine.evaluate("baseline").expect("eval");
         engine.apply(Countermeasure::Masking).expect("mask");
-        engine.apply(Countermeasure::DuplicationCompare).expect("dwc");
+        engine
+            .apply(Countermeasure::DuplicationCompare)
+            .expect("dwc");
         assert_eq!(engine.history().len(), 3);
         assert_eq!(
             engine.applied(),

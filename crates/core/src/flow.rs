@@ -11,10 +11,10 @@
 use crate::metrics::{MetricValue, SecurityMetric, SecurityReport};
 use crate::threat::ThreatVector;
 use seceda_dft::generate_tests;
-use seceda_sim::{fault::stuck_at_universe, FaultSim};
 use seceda_layout::{place, route, timing_report, PlacementConfig, RouteConfig};
 use seceda_netlist::{Netlist, NetlistError, NetlistStats};
 use seceda_sim::signal_probabilities;
+use seceda_sim::{fault::stuck_at_universe, FaultSim};
 use seceda_synth::{optimize, reassociate, SynthesisMode};
 use seceda_verif::{check_equivalence, EquivResult};
 
@@ -47,7 +47,6 @@ pub struct FlowReport {
     pub security: SecurityReport,
 }
 
-
 /// Test-preparation metric that stays affordable on large designs: full
 /// SAT-backed ATPG below `SAT_ATPG_GATE_LIMIT` gates, random-pattern
 /// grading on a sampled fault universe above it.
@@ -68,8 +67,7 @@ fn test_prep_note(nl: &Netlist) -> Result<String, NetlistError> {
     let stride = (universe.len() / 256).max(1);
     let sampled: Vec<_> = universe.iter().step_by(stride).copied().collect();
     let sim = FaultSim::new(nl)?;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
     let mut rng = StdRng::seed_from_u64(7);
     let patterns: Vec<Vec<bool>> = (0..64)
         .map(|_| (0..nl.inputs().len()).map(|_| rng.gen()).collect())
@@ -281,10 +279,7 @@ mod tests {
         let report = run_classical_flow(&c17()).expect("flow");
         assert_eq!(report.stages.len(), 4);
         assert!(!report.equivalence_checked);
-        assert!(report
-            .stages
-            .iter()
-            .all(|s| !s.security_notes.is_empty()));
+        assert!(report.stages.iter().all(|s| !s.security_notes.is_empty()));
         // classical flow preserves function on an untagged design
         assert_eq!(report.result.truth_table(), c17().truth_table());
     }

@@ -6,11 +6,11 @@
 //! and many metrics behave like *step functions* of design effort.
 
 use crate::threat::ThreatVector;
-use serde::{Deserialize, Serialize};
+use seceda_testkit::json::{Json, ToJson};
 use std::fmt;
 
 /// A measured metric value with its pass direction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MetricValue {
     /// Higher is better (e.g. fault-detection coverage).
     HigherBetter {
@@ -48,7 +48,7 @@ impl MetricValue {
 }
 
 /// Pass/fail with an explanation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// The metric meets its threshold.
     Pass,
@@ -59,7 +59,7 @@ pub enum Verdict {
 }
 
 /// One evaluated security metric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SecurityMetric {
     /// Short metric name (e.g. "first-order probing leaks").
     pub name: String,
@@ -101,7 +101,7 @@ impl fmt::Display for SecurityMetric {
 }
 
 /// A full multi-threat evaluation of one design state.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SecurityReport {
     /// Label of the design state (e.g. "after masking").
     pub label: String,
@@ -141,6 +141,54 @@ impl SecurityReport {
                         .any(|b| b.name == m.name && b.verdict == Verdict::Pass)
             })
             .collect()
+    }
+}
+
+impl ToJson for MetricValue {
+    fn to_json(&self) -> Json {
+        let (direction, value, threshold) = match *self {
+            MetricValue::HigherBetter { value, threshold } => ("higher-better", value, threshold),
+            MetricValue::LowerBetter { value, threshold } => ("lower-better", value, threshold),
+        };
+        Json::obj()
+            .field("direction", direction)
+            .field("value", value)
+            .field("threshold", threshold)
+            .build()
+    }
+}
+
+impl ToJson for Verdict {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Verdict::Pass => "pass",
+                Verdict::Fail => "fail",
+                Verdict::NotApplicable => "n/a",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for SecurityMetric {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("name", self.name.as_str())
+            .with("threat", &self.threat)
+            .with("value", &self.value)
+            .with("verdict", &self.verdict)
+            .build()
+    }
+}
+
+impl ToJson for SecurityReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("label", self.label.as_str())
+            .field("all_pass", self.all_pass())
+            .field("metrics", Json::arr(&self.metrics))
+            .build()
     }
 }
 

@@ -13,8 +13,8 @@ use seceda_dft::{
     BistConfig, DfxController,
 };
 use seceda_fia::{
-    analyze_faults, duplicate_with_compare, infective_transform, FaultCampaign,
-    FaultVerdict, InjectionModel, ProtectedNetlist,
+    analyze_faults, duplicate_with_compare, infective_transform, FaultCampaign, FaultVerdict,
+    InjectionModel, ProtectedNetlist,
 };
 use seceda_hls::{
     add_metering, asap, estimate_leakage_bits, flush_plan, self_authentication_fill,
@@ -26,8 +26,8 @@ use seceda_layout::{
 use seceda_lock::{camouflage, decamouflage, sat_attack, xor_lock};
 use seceda_netlist::{c17, majority, CellKind, Netlist};
 use seceda_puf::{
-    collect_crps as puf_collect_crps, model_arbiter_puf, random_challenges, uniqueness,
-    ArbiterPuf, ArbiterPufConfig,
+    collect_crps as puf_collect_crps, model_arbiter_puf, random_challenges, uniqueness, ArbiterPuf,
+    ArbiterPufConfig,
 };
 use seceda_sca::{
     acquire_fixed_vs_random, cpa::cpa_attack_with_model, first_order_leaks, leaking_nets,
@@ -59,7 +59,11 @@ impl std::fmt::Display for Table {
         writeln!(
             f,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         )?;
         for (label, cells) in &self.rows {
             writeln!(f, "| {} | {} |", label, cells.join(" | "))?;
@@ -161,10 +165,7 @@ pub fn table1() -> Table {
                 format!("path-delay fingerprint flags {detections}/10 Trojaned chips")
             }
         };
-        rows.push((
-            threat.to_string(),
-            vec![times, roles, evidence],
-        ));
+        rows.push((threat.to_string(), vec![times, roles, evidence]));
     }
     Table {
         title: "Table I: security threats for ICs and related roles of EDA (measured)".into(),
@@ -406,7 +407,11 @@ fn validation_cells() -> Vec<String> {
     let key_start = locked.num_original_inputs;
     for (k, &bit) in locked.correct_key.iter().enumerate() {
         let key_net = unlocked.inputs()[key_start + k];
-        let kind = if bit { CellKind::Const1 } else { CellKind::Const0 };
+        let kind = if bit {
+            CellKind::Const1
+        } else {
+            CellKind::Const0
+        };
         let c = unlocked.add_gate(kind, &[]);
         unlocked.replace_net_uses(key_net, c);
     }
@@ -541,9 +546,8 @@ fn testing_cells() -> Vec<String> {
     let before = dfx2.locking_key().is_some();
     dfx2.enter_test_mode(0xC0FFEE);
     let during = dfx2.locking_key().is_some();
-    let piracy = format!(
-        "locking-key release: mission mode={before}, authorized test mode={during}"
-    );
+    let piracy =
+        format!("locking-key release: mission mode={before}, authorized test mode={during}");
 
     // trojans: MERO pattern generation + BIST
     let host = seceda_netlist::random_circuit(&seceda_netlist::RandomCircuitConfig {
@@ -581,7 +585,10 @@ pub fn table2() -> Table {
         ("logic synthesis".to_string(), logic_synth_cells()),
         ("physical synthesis".to_string(), physical_cells()),
         ("functional validation".to_string(), validation_cells()),
-        ("timing/power verification".to_string(), timing_power_cells()),
+        (
+            "timing/power verification".to_string(),
+            timing_power_cells(),
+        ),
         ("testing (ATPG, DFT, BIST)".to_string(), testing_cells()),
     ];
     Table {

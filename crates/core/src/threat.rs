@@ -1,10 +1,10 @@
 //! Threat vectors and the roles of EDA (the paper's Table I).
 
-use serde::{Deserialize, Serialize};
+use seceda_testkit::json::{Json, ToJson};
 use std::fmt;
 
 /// The four threat vectors of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ThreatVector {
     /// Side-channel attacks (power, timing).
     SideChannel,
@@ -63,7 +63,7 @@ impl fmt::Display for ThreatVector {
 }
 
 /// When an attack happens in the IC life cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttackTime {
     /// During design (e.g. malicious 3rd-party IP).
     Design,
@@ -88,7 +88,7 @@ impl fmt::Display for AttackTime {
 }
 
 /// What EDA tooling can contribute against a threat.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdaRole {
     /// Quantitative evaluation of the vulnerability at design time.
     Evaluation,
@@ -109,6 +109,26 @@ impl fmt::Display for EdaRole {
             EdaRole::PreparingForTestingInspection => "preparing for testing/inspection",
         };
         f.write_str(s)
+    }
+}
+
+/// Serializes as the human-readable `Display` string, which is part of
+/// the report format and therefore stable.
+impl ToJson for ThreatVector {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for AttackTime {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for EdaRole {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
     }
 }
 

@@ -5,11 +5,10 @@
 //! faulty circuit, shared inputs, some output must differ). UNSAT proves
 //! the fault untestable (redundant logic).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{Netlist, NetlistError};
 use seceda_sat::{encode_netlist, Cnf, SatResult, Solver};
 use seceda_sim::{fault::stuck_at_universe, Fault, FaultKind, FaultSim};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Result of a test-generation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,12 +71,7 @@ pub fn generate_test_for(nl: &Netlist, fault: Fault) -> Result<Option<Vec<bool>>
     cnf.add_clause(big);
     let mut solver = Solver::from_cnf(&cnf);
     Ok(match solver.solve_with_assumptions(&[any]) {
-        SatResult::Sat(model) => Some(
-            good.input_vars
-                .iter()
-                .map(|v| model[v.index()])
-                .collect(),
-        ),
+        SatResult::Sat(model) => Some(good.input_vars.iter().map(|v| model[v.index()]).collect()),
         SatResult::Unsat => None,
     })
 }
@@ -87,7 +81,11 @@ pub fn generate_test_for(nl: &Netlist, fault: Fault) -> Result<Option<Vec<bool>>
 /// # Errors
 ///
 /// Propagates simulator/encoding errors.
-pub fn generate_tests(nl: &Netlist, random_patterns: usize, seed: u64) -> Result<AtpgResult, NetlistError> {
+pub fn generate_tests(
+    nl: &Netlist,
+    random_patterns: usize,
+    seed: u64,
+) -> Result<AtpgResult, NetlistError> {
     let faults = stuck_at_universe(nl);
     let sim = FaultSim::new(nl)?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -166,10 +164,7 @@ mod tests {
         let sim = FaultSim::new(&nl).expect("sim");
         for &f in &faults {
             if let Some(pattern) = generate_test_for(&nl, f).expect("query") {
-                assert!(
-                    sim.detects(&pattern, f),
-                    "SAT pattern must detect {f:?}"
-                );
+                assert!(sim.detects(&pattern, f), "SAT pattern must detect {f:?}");
             }
         }
     }

@@ -20,10 +20,14 @@ impl Lfsr {
     /// Panics if `width` is 0 or above 64.
     pub fn new(seed: u64, width: u32) -> Self {
         assert!((1..=64).contains(&width), "width must be 1..=64");
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         let taps = match width {
-            16 => 0x2D, // x^16 + x^14 + x^13 + x^11 + 1, period 65535
-            8 => 0x1D,  // x^8 + x^6 + x^5 + x^4 + 1, period 255
+            16 => 0x2D,                  // x^16 + x^14 + x^13 + x^11 + 1, period 65535
+            8 => 0x1D,                   // x^8 + x^6 + x^5 + x^4 + 1, period 255
             _ => (1 << (width - 1)) | 1, // fallback (period not maximal)
         };
         let state = seed & mask;
@@ -65,7 +69,11 @@ impl Misr {
     /// Panics if `width` is 0 or above 64.
     pub fn new(width: u32) -> Self {
         assert!((1..=64).contains(&width), "width must be 1..=64");
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         Misr {
             state: 0,
             width,

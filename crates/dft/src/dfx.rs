@@ -130,7 +130,10 @@ mod tests {
     #[test]
     fn natural_faults_recover() {
         let mut c = controller();
-        assert_eq!(c.on_fault(FaultVerdict::Natural), DfxResponse::RecoverAndResume);
+        assert_eq!(
+            c.on_fault(FaultVerdict::Natural),
+            DfxResponse::RecoverAndResume
+        );
         assert_eq!(c.state(), DfxState::Recovering);
         c.leave_special_mode();
         assert_eq!(c.state(), DfxState::Mission);

@@ -92,11 +92,8 @@ pub fn insert_scan_chain(nl: &Netlist) -> ScanChain {
     for &d in &dffs {
         let functional_d = scanned.gate(d).inputs[0];
         // mux: scan_enable ? prev_q : functional_d
-        let mux = scanned.add_gate_tagged(
-            CellKind::Mux,
-            &[scan_enable, functional_d, prev_q],
-            tags,
-        );
+        let mux =
+            scanned.add_gate_tagged(CellKind::Mux, &[scan_enable, functional_d, prev_q], tags);
         scanned.gate_mut(d).inputs[0] = mux;
         prev_q = scanned.gate(d).output;
     }

@@ -1,9 +1,9 @@
 //! Property-based tests for the test infrastructure.
 
-use proptest::prelude::*;
 use seceda_dft::{generate_tests, insert_scan_chain, run_bist, BistConfig, Lfsr, Misr};
 use seceda_netlist::{random_circuit, RandomCircuitConfig};
 use seceda_sim::{fault::stuck_at_universe, FaultSim};
+use seceda_testkit::prelude::*;
 
 fn host(seed: u64, gates: usize) -> seceda_netlist::Netlist {
     random_circuit(&RandomCircuitConfig {

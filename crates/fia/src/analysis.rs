@@ -3,10 +3,9 @@
 
 use crate::campaign::FaultCampaign;
 use crate::codes::ProtectedNetlist;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::NetlistError;
 use seceda_sim::FaultSim;
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Classification of one fault shot under one stimulus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

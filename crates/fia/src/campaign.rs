@@ -7,10 +7,9 @@
 //! random. The `seceda-layout` crate maps spatial regions to nets; here
 //! regions are expressed as net-index windows.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{NetId, Netlist};
 use seceda_sim::{Fault, FaultKind};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// How faults are generated.
 #[derive(Debug, Clone, PartialEq)]

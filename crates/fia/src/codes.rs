@@ -218,10 +218,7 @@ pub fn parity_protect(nl: &Netlist) -> ProtectedNetlist {
 
 /// Convenience: evaluates a protected netlist and splits functional
 /// outputs from the alarm.
-pub fn eval_protected(
-    p: &ProtectedNetlist,
-    inputs: &[bool],
-) -> (Vec<bool>, Option<bool>) {
+pub fn eval_protected(p: &ProtectedNetlist, inputs: &[bool]) -> (Vec<bool>, Option<bool>) {
     let outs = p.netlist.evaluate(inputs);
     match p.alarm_index {
         Some(i) => {
@@ -280,7 +277,11 @@ mod tests {
                 let alarm = bad[bad.len() - 1];
                 if functional_changed {
                     detected_any = true;
-                    assert!(alarm, "silent corruption at {:?} pattern {pattern}", g.output);
+                    assert!(
+                        alarm,
+                        "silent corruption at {:?} pattern {pattern}",
+                        g.output
+                    );
                 }
             }
         }

@@ -127,7 +127,9 @@ mod tests {
         // only constrains the key bits feeding that nibble
         let key = 0xC0DE;
         let cipher = ToyCipher::new(key);
-        let pts: Vec<u16> = (0..16).map(|i| 0x1111u16.wrapping_mul(i + 3) ^ (i << 7)).collect();
+        let pts: Vec<u16> = (0..16)
+            .map(|i| 0x1111u16.wrapping_mul(i + 3) ^ (i << 7))
+            .collect();
         let pairs = collect_pairs(&cipher, &pts);
         let result = dfa_attack(&pairs);
         assert!(
@@ -198,10 +200,7 @@ mod tests {
                 let good = cipher.encrypt(pt);
                 // infected output: pseudo-random junk instead of the
                 // faulty ciphertext
-                let junk = good
-                    .rotate_left((i % 7) as u32 + 1)
-                    .wrapping_mul(0x9E37)
-                    ^ 0xA5A5;
+                let junk = good.rotate_left((i % 7) as u32 + 1).wrapping_mul(0x9E37) ^ 0xA5A5;
                 (good, junk)
             })
             .collect();

@@ -111,8 +111,7 @@ impl FaultDiscriminator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
     #[test]
     fn repeated_location_is_malicious() {
@@ -138,7 +137,7 @@ mod tests {
         let mut d = FaultDiscriminator::new(10, 0.5, 0.001);
         let mut cycle = 0u64;
         for _ in 0..10 {
-            cycle += rng.gen_range(50_000..150_000);
+            cycle += rng.gen_range(50_000..150_000u64);
             d.record(rng.gen_range(0..10_000), cycle);
         }
         assert_eq!(d.verdict(), FaultVerdict::Natural);

@@ -1,9 +1,9 @@
 //! Property-based tests for fault countermeasures.
 
-use proptest::prelude::*;
 use seceda_fia::{duplicate_with_compare, parity_protect, triplicate_with_vote};
 use seceda_netlist::{random_circuit, RandomCircuitConfig};
 use seceda_sim::{Fault, FaultSim};
+use seceda_testkit::prelude::*;
 
 fn host(seed: u64, gates: usize) -> seceda_netlist::Netlist {
     random_circuit(&RandomCircuitConfig {

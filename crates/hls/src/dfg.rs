@@ -301,14 +301,7 @@ mod tests {
     #[test]
     fn executes_arithmetic() {
         let dfg = mac();
-        let out = dfg.run(
-            &[
-                ("a".into(), 3),
-                ("b".into(), 7),
-                ("c".into(), 100),
-            ],
-            0,
-        );
+        let out = dfg.run(&[("a".into(), 3), ("b".into(), 7), ("c".into(), 100)], 0);
         assert_eq!(out, vec![("y".into(), 121)]);
     }
 

@@ -44,8 +44,7 @@ pub fn taint_analysis(dfg: &Dfg) -> TaintReport {
                 let a = n.args[0];
                 let b = n.args[1];
                 let fresh_otp = |r: crate::dfg::NodeId| {
-                    matches!(dfg.nodes()[r.index()].op, Op::Random)
-                        && users[r.index()].len() == 1
+                    matches!(dfg.nodes()[r.index()].op, Op::Random) && users[r.index()].len() == 1
                 };
                 let ta = tainted[a.index()];
                 let tb = tainted[b.index()];
@@ -85,7 +84,10 @@ pub fn taint_analysis(dfg: &Dfg) -> TaintReport {
 pub fn estimate_leakage_bits(dfg: &Dfg, secret_bits: u32, random_bits: u32) -> f64 {
     let num_random_nodes = dfg.num_randoms() as u32;
     let total_bits = secret_bits + num_random_nodes * random_bits;
-    assert!(total_bits <= 20, "enumeration too large ({total_bits} bits)");
+    assert!(
+        total_bits <= 20,
+        "enumeration too large ({total_bits} bits)"
+    );
     let secret_names: Vec<String> = dfg
         .nodes()
         .iter()

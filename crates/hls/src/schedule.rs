@@ -95,12 +95,7 @@ pub fn list_schedule(dfg: &Dfg, limits: &BTreeMap<String, usize>) -> Schedule {
         let mut c = ready;
         if let Some(class) = n.op.fu_class() {
             if let Some(&limit) = limits.get(class) {
-                while usage
-                    .get(&(class.to_string(), c))
-                    .copied()
-                    .unwrap_or(0)
-                    >= limit
-                {
+                while usage.get(&(class.to_string(), c)).copied().unwrap_or(0) >= limit {
                     c += 1;
                 }
                 *usage.entry((class.to_string(), c)).or_insert(0) += 1;

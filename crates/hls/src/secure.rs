@@ -91,11 +91,7 @@ pub fn share_aware_schedule(
             let fu_ok = match n.op.fu_class() {
                 Some(class) => match limits.get(class) {
                     Some(&limit) => {
-                        fu_usage
-                            .get(&(class.to_string(), c))
-                            .copied()
-                            .unwrap_or(0)
-                            < limit
+                        fu_usage.get(&(class.to_string(), c)).copied().unwrap_or(0) < limit
                     }
                     None => true,
                 },
@@ -289,10 +285,9 @@ mod tests {
         let dfg = crypto_like();
         let schedule = asap(&dfg);
         let auth = self_authentication_fill(&dfg, &schedule);
-        let outs = auth.dfg.run(
-            &[("key".to_string(), 1u16), ("pt".to_string(), 2)],
-            0,
-        );
+        let outs = auth
+            .dfg
+            .run(&[("key".to_string(), 1u16), ("pt".to_string(), 2)], 0);
         let sig = outs
             .iter()
             .find(|(n, _)| n == "auth_sig")

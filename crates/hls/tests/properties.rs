@@ -1,7 +1,7 @@
 //! Property-based tests for HLS scheduling and IFT.
 
-use proptest::prelude::*;
 use seceda_hls::{alap, asap, list_schedule, taint_analysis, Dfg, Op};
+use seceda_testkit::prelude::*;
 use std::collections::BTreeMap;
 
 /// Builds a random layered DFG from a spec of (op_selector, arg_a, arg_b).

@@ -25,7 +25,7 @@ pub mod split;
 pub mod timing;
 
 pub use place::{perturb_placement, place, Placement, PlacementConfig};
-pub use route::{route, RoutedDesign, RouteConfig, Wire};
+pub use route::{route, RouteConfig, RoutedDesign, Wire};
 pub use sensors::{place_sensors, shield_coverage, SensorPlan, ShieldConfig};
 pub use split::{lift_wires, proximity_attack, split_at, FeolView, ProximityResult};
 pub use timing::{timing_report, TimingReport};

@@ -1,8 +1,7 @@
 //! Grid placement by simulated annealing.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::Netlist;
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// A placed design: one grid cell per gate, primary inputs on the west
 /// edge, primary outputs on the east edge.
@@ -123,11 +122,14 @@ pub fn place(nl: &Netlist, config: &PlacementConfig) -> Placement {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // initial placement: row-major
-    let mut gate_pos: Vec<(u32, u32)> = (0..n as u32)
-        .map(|i| (i % width, i / width))
-        .collect();
+    let mut gate_pos: Vec<(u32, u32)> = (0..n as u32).map(|i| (i % width, i / width)).collect();
     let input_pos: Vec<(u32, u32)> = (0..nl.inputs().len())
-        .map(|k| (0, (k as u32 * height.max(1)) / nl.inputs().len().max(1) as u32))
+        .map(|k| {
+            (
+                0,
+                (k as u32 * height.max(1)) / nl.inputs().len().max(1) as u32,
+            )
+        })
         .collect();
     let output_pos: Vec<(u32, u32)> = (0..nl.outputs().len())
         .map(|k| {
@@ -172,12 +174,7 @@ pub fn place(nl: &Netlist, config: &PlacementConfig) -> Placement {
 /// uniform offset in `[-radius, radius]²` (clamped to the grid),
 /// deliberately destroying the placement locality the proximity attack
 /// feeds on. Returns the perturbed placement with its (worse) HPWL.
-pub fn perturb_placement(
-    nl: &Netlist,
-    placement: &Placement,
-    radius: u32,
-    seed: u64,
-) -> Placement {
+pub fn perturb_placement(nl: &Netlist, placement: &Placement, radius: u32, seed: u64) -> Placement {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut perturbed = placement.clone();
     let r = radius as i64;
@@ -206,10 +203,7 @@ mod tests {
         let nl = c17();
         let p = place(&nl, &PlacementConfig::default());
         assert_eq!(p.gate_pos.len(), nl.num_gates());
-        assert!(p
-            .gate_pos
-            .iter()
-            .all(|&(x, y)| x < p.width && y < p.height));
+        assert!(p.gate_pos.iter().all(|&(x, y)| x < p.width && y < p.height));
         assert!(p.hpwl > 0.0);
     }
 
@@ -248,10 +242,7 @@ mod tests {
         let p = place(&nl, &PlacementConfig::default());
         let q = perturb_placement(&nl, &p, 4, 77);
         assert!(q.hpwl > p.hpwl, "perturbation costs wirelength");
-        assert!(q
-            .gate_pos
-            .iter()
-            .all(|&(x, y)| x < q.width && y < q.height));
+        assert!(q.gate_pos.iter().all(|&(x, y)| x < q.width && y < q.height));
     }
 
     #[test]

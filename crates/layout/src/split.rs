@@ -92,11 +92,7 @@ pub fn split_at(routed: &RoutedDesign, split_layer: u8) -> FeolView {
 /// to the top layer so their stubs reveal as little as possible.
 /// Returns the modified routed design and the extra (via stack)
 /// wirelength cost.
-pub fn lift_wires(
-    routed: &RoutedDesign,
-    nets: &[NetId],
-    top_layer: u8,
-) -> (RoutedDesign, u64) {
+pub fn lift_wires(routed: &RoutedDesign, nets: &[NetId], top_layer: u8) -> (RoutedDesign, u64) {
     let mut lifted = routed.clone();
     let mut extra = 0u64;
     for w in &mut lifted.wires {
@@ -207,15 +203,12 @@ mod tests {
         let (_, r) = workload();
         let view = split_at(&r, 3);
         for h in &view.hidden {
-            let gap = (h.source_stub.0 - h.sink_stub.0).abs()
-                + (h.source_stub.1 - h.sink_stub.1).abs();
+            let gap =
+                (h.source_stub.0 - h.sink_stub.0).abs() + (h.source_stub.1 - h.sink_stub.1).abs();
             let full = h.wire.length as f64;
             assert!(gap <= full + 1e-9, "stub gap cannot exceed wire length");
             if h.wire.layer == 3 && h.wire.length > 0 {
-                assert!(
-                    gap < full,
-                    "partial routes must have approached each other"
-                );
+                assert!(gap < full, "partial routes must have approached each other");
             }
         }
     }

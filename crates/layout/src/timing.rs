@@ -52,10 +52,7 @@ pub fn timing_report(nl: &Netlist, routed: &RoutedDesign) -> TimingReport {
         let mut worst = 0.0f64;
         let mut worst_wire = 0.0f64;
         for &inp in &g.inputs {
-            let wd = wire_delay
-                .get(&(gi, inp.index()))
-                .copied()
-                .unwrap_or(0.0);
+            let wd = wire_delay.get(&(gi, inp.index())).copied().unwrap_or(0.0);
             let t = arrival[inp.index()] + wd;
             if t > worst {
                 worst = t;

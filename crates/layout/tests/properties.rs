@@ -1,11 +1,11 @@
 //! Property-based tests for the physical-design model.
 
-use proptest::prelude::*;
 use seceda_layout::{
     lift_wires, place, proximity_attack, route, split_at, timing_report, PlacementConfig,
     RouteConfig,
 };
 use seceda_netlist::{random_circuit, DepthReport, RandomCircuitConfig};
+use seceda_testkit::prelude::*;
 
 fn workload(seed: u64, gates: usize) -> seceda_netlist::Netlist {
     random_circuit(&RandomCircuitConfig {

@@ -9,9 +9,8 @@
 
 use crate::locking::LockedNetlist;
 use crate::sat_attack::{sat_attack, SatAttackResult};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{CellKind, GateTags, Netlist, NetlistError};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// The candidate functions a camouflaged cell may implement.
 const CANDIDATES: [CellKind; 3] = [CellKind::Nand, CellKind::Nor, CellKind::Xnor];

@@ -1,8 +1,7 @@
 //! Combinational logic-locking transforms.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{CellKind, GateTags, NetId, Netlist, Word};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// A locked netlist together with its secret.
 ///
@@ -138,7 +137,11 @@ pub fn mux_lock(nl: &Netlist, key_bits: usize, seed: u64) -> LockedNetlist {
         let bit: bool = rng.gen();
         // mux inputs are [sel, a, b] -> sel ? b : a
         // bit=false: true signal on the a-leg; bit=true: on the b-leg
-        let (a_leg, b_leg) = if bit { (decoy, target) } else { (target, decoy) };
+        let (a_leg, b_leg) = if bit {
+            (decoy, target)
+        } else {
+            (target, decoy)
+        };
         // insert_after keeps `target` as the first gate input, so build
         // the mux manually and rewire loads
         let mux = locked.insert_after(target, CellKind::Mux, &[a_leg, b_leg], key_tags());
@@ -225,9 +228,8 @@ pub fn sfll_hd0(nl: &Netlist, protected_pattern: &[bool]) -> LockedNetlist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use seceda_netlist::c17;
+    use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
     fn exhaustive_inputs(n: usize) -> impl Iterator<Item = Vec<bool>> {
         (0..(1u32 << n)).map(move |p| (0..n).map(|b| (p >> b) & 1 == 1).collect())
@@ -280,9 +282,8 @@ mod tests {
         for bit in 0..4 {
             let mut key = locked.correct_key.clone();
             key[bit] = !key[bit];
-            let differs = exhaustive_inputs(5).any(|inputs| {
-                locked.evaluate_with_key(&inputs, &key) != nl.evaluate(&inputs)
-            });
+            let differs = exhaustive_inputs(5)
+                .any(|inputs| locked.evaluate_with_key(&inputs, &key) != nl.evaluate(&inputs));
             assert!(differs, "wrong bit {bit} never observable");
         }
     }

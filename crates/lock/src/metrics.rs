@@ -1,8 +1,7 @@
 //! Security metrics for locked designs.
 
 use crate::locking::LockedNetlist;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Output-corruption statistics of a locked design under wrong keys.
 #[derive(Debug, Clone, PartialEq)]

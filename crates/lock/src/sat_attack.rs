@@ -186,12 +186,8 @@ mod tests {
         let xor = xor_lock(&nl, 8, 11);
         let sfll = sfll_hd0(&nl, &[true, false, true, false, true]);
         let oracle = |x: &[bool]| nl.evaluate(x);
-        let xr = sat_attack(&xor, oracle)
-            .expect("runs")
-            .expect("key");
-        let sr = sat_attack(&sfll, oracle)
-            .expect("runs")
-            .expect("key");
+        let xr = sat_attack(&xor, oracle).expect("runs").expect("key");
+        let sr = sat_attack(&sfll, oracle).expect("runs").expect("key");
         assert!(
             sr.iterations > 4 * xr.iterations.max(1),
             "SFLL must cost far more queries: sfll {} vs xor {}",

@@ -10,9 +10,8 @@
 //! tag-honoring synthesis (the watermark gates carry the `monitor` tag)
 //! preserves it — optimization versus security again.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{CellKind, GateTags, NetId, Netlist};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// An embedded watermark: the owner's secret plus the claimed signature.
 #[derive(Debug, Clone, PartialEq, Eq)]

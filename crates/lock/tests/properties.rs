@@ -1,8 +1,8 @@
 //! Property-based tests for logic locking.
 
-use proptest::prelude::*;
 use seceda_lock::{mux_lock, sfll_hd0, xor_lock};
 use seceda_netlist::{random_circuit, RandomCircuitConfig};
+use seceda_testkit::prelude::*;
 
 fn host(seed: u64, gates: usize) -> seceda_netlist::Netlist {
     random_circuit(&RandomCircuitConfig {

@@ -51,7 +51,9 @@ pub fn comparator(width: usize) -> Netlist {
 pub fn parity_tree(width: usize) -> Netlist {
     assert!(width >= 2, "parity tree needs at least two inputs");
     let mut nl = Netlist::new(format!("parity{width}"));
-    let mut layer: Vec<_> = (0..width).map(|i| nl.add_input(format!("a[{i}]"))).collect();
+    let mut layer: Vec<_> = (0..width)
+        .map(|i| nl.add_input(format!("a[{i}]")))
+        .collect();
     while layer.len() > 1 {
         let mut next = Vec::with_capacity(layer.len().div_ceil(2));
         for pair in layer.chunks(2) {

@@ -277,7 +277,11 @@ impl Netlist {
                 }
             }
         }
-        let comb_count = self.gates.iter().filter(|g| !g.kind.is_sequential()).count();
+        let comb_count = self
+            .gates
+            .iter()
+            .filter(|g| !g.kind.is_sequential())
+            .count();
         if order.len() != comb_count {
             return Err(NetlistError::CombinationalCycle);
         }
@@ -590,7 +594,10 @@ mod tests {
         let nl = full_adder();
         assert!(matches!(
             nl.step(&[true], &[]),
-            Err(NetlistError::WidthMismatch { expected: 3, got: 1 })
+            Err(NetlistError::WidthMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 

@@ -3,8 +3,7 @@
 use crate::cell::CellKind;
 use crate::id::NetId;
 use crate::netlist::Netlist;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Parameters of the random circuit generator.
 #[derive(Debug, Clone, PartialEq, Eq)]

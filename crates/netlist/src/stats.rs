@@ -79,7 +79,12 @@ impl DepthReport {
                 .iter()
                 .map(|&i| arrival[i.index()])
                 .fold(0.0, f64::max);
-            let worst_lvl = g.inputs.iter().map(|&i| level[i.index()]).max().unwrap_or(0);
+            let worst_lvl = g
+                .inputs
+                .iter()
+                .map(|&i| level[i.index()])
+                .max()
+                .unwrap_or(0);
             // n-ary gates cost a log-depth tree of 2-input cells
             let fan = g.inputs.len().max(2);
             let tree_levels = (usize::BITS - (fan - 1).leading_zeros()) as f64;

@@ -28,11 +28,7 @@ pub fn format_netlist(nl: &Netlist) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "design {}", nl.name());
     for &pi in nl.inputs() {
-        let name = nl
-            .net(pi)
-            .name
-            .clone()
-            .unwrap_or_else(|| pi.to_string());
+        let name = nl.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
         let _ = writeln!(out, "input {name} {pi}");
     }
     for g in nl.gates() {
@@ -127,10 +123,11 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, NetlistError> {
                     line,
                     message: "gate needs a cell kind".into(),
                 })?;
-                let kind = CellKind::from_mnemonic(kind_tok).ok_or_else(|| NetlistError::Parse {
-                    line,
-                    message: format!("unknown cell kind `{kind_tok}`"),
-                })?;
+                let kind =
+                    CellKind::from_mnemonic(kind_tok).ok_or_else(|| NetlistError::Parse {
+                        line,
+                        message: format!("unknown cell kind `{kind_tok}`"),
+                    })?;
                 let mut inputs = Vec::new();
                 let mut tags = crate::cell::GateTags::default();
                 for tok in toks {
@@ -141,9 +138,9 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, NetlistError> {
                         "!red" => tags.redundancy = true,
                         _ => {
                             let idx = parse_net_token(tok, line)?;
-                            let id = *net_map.get(&idx).ok_or_else(|| {
-                                NetlistError::UnknownNet(format!("n{idx}"))
-                            })?;
+                            let id = *net_map
+                                .get(&idx)
+                                .ok_or_else(|| NetlistError::UnknownNet(format!("n{idx}")))?;
                             inputs.push(id);
                         }
                     }
@@ -216,11 +213,7 @@ mod tests {
         let back = parse_netlist(&text).expect("parse");
         assert_eq!(back.name(), "ha");
         assert_eq!(back.truth_table(), nl.truth_table());
-        let barrier_gates: Vec<_> = back
-            .gates()
-            .iter()
-            .filter(|g| g.tags.no_reassoc)
-            .collect();
+        let barrier_gates: Vec<_> = back.gates().iter().filter(|g| g.tags.no_reassoc).collect();
         assert_eq!(barrier_gates.len(), 1);
         assert_eq!(barrier_gates[0].kind, CellKind::And);
     }

@@ -1,10 +1,10 @@
 //! Property-based tests for the netlist IR.
 
-use proptest::prelude::*;
 use seceda_netlist::{
     bits_to_u64, format_netlist, parse_netlist, random_circuit, u64_to_bits, CellKind, Netlist,
     RandomCircuitConfig, Word,
 };
+use seceda_testkit::prelude::*;
 
 fn word_op_circuit(width: usize, op: &str) -> Netlist {
     let mut nl = Netlist::new("w");

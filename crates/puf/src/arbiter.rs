@@ -7,8 +7,7 @@
 //! per-instance Gaussian stage weights `w` and per-evaluation thermal
 //! noise.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 fn gaussian(rng: &mut StdRng, sigma: f64) -> f64 {
     // Box–Muller

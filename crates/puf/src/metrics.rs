@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn arbiter_population_metrics_near_ideal() {
         let config = ArbiterPufConfig::default();
-        let pop = population(&config, 12);
+        let pop = population(&config, 24);
         let u = uniqueness(&pop);
         assert!((0.38..=0.62).contains(&u), "uniqueness {u}");
         let a = bit_aliasing(&pop);
@@ -124,8 +124,7 @@ mod tests {
         };
         let eval = |config: &ArbiterPufConfig| {
             let mut puf = ArbiterPuf::manufacture(config, 5);
-            let reference: Vec<bool> =
-                challenges.iter().map(|c| puf.respond_ideal(c)).collect();
+            let reference: Vec<bool> = challenges.iter().map(|c| puf.respond_ideal(c)).collect();
             let rereads: Vec<Vec<bool>> = (0..10)
                 .map(|_| challenges.iter().map(|c| puf.respond(c)).collect())
                 .collect();
@@ -133,7 +132,10 @@ mod tests {
         };
         let quiet = eval(&quiet_config);
         let noisy = eval(&noisy_config);
-        assert!(quiet > noisy, "noise must cost reliability: {quiet} vs {noisy}");
+        assert!(
+            quiet > noisy,
+            "noise must cost reliability: {quiet} vs {noisy}"
+        );
         assert!(quiet > 0.95, "quiet reliability {quiet}");
     }
 
@@ -150,8 +152,7 @@ mod tests {
                 ..ArbiterPufConfig::default()
             };
             let mut puf = ArbiterPuf::manufacture(&config, 6);
-            let reference: Vec<bool> =
-                challenges.iter().map(|c| puf.respond_ideal(c)).collect();
+            let reference: Vec<bool> = challenges.iter().map(|c| puf.respond_ideal(c)).collect();
             let rereads: Vec<Vec<bool>> = (0..10)
                 .map(|_| challenges.iter().map(|c| puf.respond(c)).collect())
                 .collect();

@@ -1,7 +1,6 @@
 //! Ring-oscillator PUF.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 fn gaussian(rng: &mut StdRng, sigma: f64) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);

@@ -4,8 +4,7 @@
 //! power-up value follows the mismatch sign unless the mismatch is so
 //! small that supply noise wins — those are the unreliable cells.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 fn gaussian(rng: &mut StdRng, sigma: f64) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);

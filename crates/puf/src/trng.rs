@@ -7,8 +7,7 @@
 //! the source at runtime, as required for any key-generation or masking
 //! randomness supply \[41\].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// TRNG parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,10 +1,10 @@
 //! Property-based tests for PUFs and the TRNG.
 
-use proptest::prelude::*;
 use seceda_puf::{
     bit_aliasing, reliability, uniformity, uniqueness, ArbiterPuf, ArbiterPufConfig, Trng,
     TrngConfig, TrngHealth,
 };
+use seceda_testkit::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

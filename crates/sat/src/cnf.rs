@@ -188,10 +188,9 @@ impl Cnf {
 
     /// Checks a full assignment against every clause (testing helper).
     pub fn is_satisfied_by(&self, model: &[bool]) -> bool {
-        self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|&l| l.eval(model[l.var().index()]))
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|&l| l.eval(model[l.var().index()])))
     }
 }
 

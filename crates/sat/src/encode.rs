@@ -224,7 +224,14 @@ mod tests {
         let nx = nl.add_gate(CellKind::Xnor, &ins);
         let na = nl.add_gate(CellKind::Nand, &ins);
         let no = nl.add_gate(CellKind::Nor, &ins);
-        for (net, name) in [(a, "a"), (o, "o"), (x, "x"), (nx, "nx"), (na, "na"), (no, "no")] {
+        for (net, name) in [
+            (a, "a"),
+            (o, "o"),
+            (x, "x"),
+            (nx, "nx"),
+            (na, "na"),
+            (no, "no"),
+        ] {
             nl.mark_output(net, name);
         }
         check_encoding_consistency(&nl);

@@ -431,8 +431,7 @@ impl Solver {
                     }
                     match self.decide() {
                         None => {
-                            let model: Vec<bool> =
-                                self.assign.iter().map(|&v| v == 1).collect();
+                            let model: Vec<bool> = self.assign.iter().map(|&v| v == 1).collect();
                             self.backtrack(0);
                             return SatResult::Sat(model);
                         }
@@ -590,8 +589,7 @@ mod tests {
 
     #[test]
     fn random_3sat_agrees_with_brute_force() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
         let mut rng = StdRng::seed_from_u64(99);
         for iter in 0..80 {
             let nv = rng.gen_range(3..10usize);
@@ -618,8 +616,7 @@ mod tests {
 
     #[test]
     fn assumptions_agree_with_unit_clauses() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
         let mut rng = StdRng::seed_from_u64(1234);
         for iter in 0..40 {
             let nv = rng.gen_range(4..9usize);

@@ -1,7 +1,7 @@
 //! Property-based tests for the SAT solver and the netlist encoder.
 
-use proptest::prelude::*;
 use seceda_sat::{encode_netlist, Cnf, Lit, SatResult, Solver};
+use seceda_testkit::prelude::*;
 
 fn random_cnf(num_vars: usize, clause_spec: &[Vec<(usize, bool)>]) -> Cnf {
     let mut cnf = Cnf::new();

@@ -110,8 +110,7 @@ pub fn cpa_attack_with_model(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
     #[test]
     fn pearson_basics() {

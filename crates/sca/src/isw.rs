@@ -91,7 +91,10 @@ impl MaskedNetlist {
 ///
 /// Panics if the netlist is sequential or cyclic.
 pub fn mask_netlist(nl: &Netlist) -> MaskedNetlist {
-    assert!(nl.is_combinational(), "mask_netlist needs combinational logic");
+    assert!(
+        nl.is_combinational(),
+        "mask_netlist needs combinational logic"
+    );
     let xag = map_to_xag(nl);
     let order = xag.topo_order().expect("cyclic netlist");
     let mut out = Netlist::new(format!("{}_masked", xag.name()));
@@ -212,9 +215,8 @@ pub fn mask_netlist(nl: &Netlist) -> MaskedNetlist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use seceda_netlist::{majority, Netlist};
+    use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
     fn single_and() -> Netlist {
         let mut nl = Netlist::new("and");
@@ -268,12 +270,9 @@ mod tests {
     #[test]
     fn gadget_gates_carry_barriers() {
         let masked = mask_netlist(&single_and());
-        assert!(masked
-            .netlist
-            .gates()
-            .iter()
-            .all(|g| g.tags.no_reassoc || g.kind == CellKind::Const0
-                || g.kind == CellKind::Const1));
+        assert!(masked.netlist.gates().iter().all(|g| g.tags.no_reassoc
+            || g.kind == CellKind::Const0
+            || g.kind == CellKind::Const1));
     }
 
     #[test]

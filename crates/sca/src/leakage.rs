@@ -2,10 +2,9 @@
 //! (Table II, logic-synthesis × SCA) and an SNR estimator.
 
 use crate::cpa::pearson;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{NetId, Netlist, NetlistError};
 use seceda_sim::CycleSim;
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// A net whose value correlates with a secret.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,7 +39,10 @@ pub fn leaking_nets(
     threshold: f64,
     seed: u64,
 ) -> Result<Vec<LeakingNet>, NetlistError> {
-    assert!(secret_input < nl.inputs().len(), "secret input out of range");
+    assert!(
+        secret_input < nl.inputs().len(),
+        "secret input out of range"
+    );
     assert!(trials >= 2, "need at least two trials");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sim = CycleSim::new(nl)?;

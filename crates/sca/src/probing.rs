@@ -48,7 +48,10 @@ impl ProbingModel {
 /// count does not match the model.
 pub fn first_order_leaks(nl: &Netlist, model: &ProbingModel) -> Vec<NetId> {
     let free_bits = 2 * model.num_secrets + model.num_randoms;
-    assert!(free_bits <= 22, "probing enumeration too large ({free_bits} bits)");
+    assert!(
+        free_bits <= 22,
+        "probing enumeration too large ({free_bits} bits)"
+    );
     assert_eq!(
         nl.inputs().len(),
         model.num_secrets * NUM_SHARES + model.num_randoms,
@@ -116,7 +119,10 @@ pub fn second_order_leaks(
     max_pairs: usize,
 ) -> Vec<(NetId, NetId)> {
     let free_bits = 2 * model.num_secrets + model.num_randoms;
-    assert!(free_bits <= 22, "probing enumeration too large ({free_bits} bits)");
+    assert!(
+        free_bits <= 22,
+        "probing enumeration too large ({free_bits} bits)"
+    );
     assert_eq!(
         nl.inputs().len(),
         model.num_secrets * NUM_SHARES + model.num_randoms,
@@ -129,8 +135,7 @@ pub fn second_order_leaks(
     // joint counts: per secret pattern, per pair, counts of (v1, v2) in
     // {00, 01, 10, 11}; stored flat for speed
     let pair_count = num_nets * num_nets;
-    let mut counts: Vec<Vec<[u32; 4]>> =
-        vec![vec![[0u32; 4]; pair_count]; num_secret_patterns];
+    let mut counts: Vec<Vec<[u32; 4]>> = vec![vec![[0u32; 4]; pair_count]; num_secret_patterns];
 
     let mut inputs = vec![false; nl.inputs().len()];
     for secret_pattern in 0..num_secret_patterns {
@@ -207,7 +212,10 @@ mod tests {
         let (nl, model) = masked_and();
         let (aware, _) = reassociate(&nl, SynthesisMode::SecurityAware);
         let leaks = first_order_leaks(&aware, &model);
-        assert!(leaks.is_empty(), "barriers must preserve security: {leaks:?}");
+        assert!(
+            leaks.is_empty(),
+            "barriers must preserve security: {leaks:?}"
+        );
     }
 
     #[test]
@@ -216,7 +224,10 @@ mod tests {
         // on the gadget creates a wire carrying unmasked information.
         let (nl, model) = masked_and();
         let (classical, report) = reassociate(&nl, SynthesisMode::Classical);
-        assert!(report.trees_rebuilt > 0, "the optimizer must fire: {report:?}");
+        assert!(
+            report.trees_rebuilt > 0,
+            "the optimizer must fire: {report:?}"
+        );
         let leaks = first_order_leaks(&classical, &model);
         assert!(
             !leaks.is_empty(),
@@ -280,7 +291,10 @@ mod tests {
             num_secrets: 1,
             num_randoms: 0,
         };
-        assert!(first_order_leaks(&nl, &model).is_empty(), "each wire alone is fine");
+        assert!(
+            first_order_leaks(&nl, &model).is_empty(),
+            "each wire alone is fine"
+        );
         let pairs = second_order_leaks(&nl, &model, 10);
         assert!(
             pairs.contains(&(s0, partial)),

@@ -1,10 +1,9 @@
 //! Trace-acquisition campaigns on the simulated power side channel.
 
 use crate::isw::MaskedNetlist;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{Netlist, NetlistError};
 use seceda_sim::{CycleSim, NoiseModel, PowerModel, TraceRecorder};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration of a trace-acquisition campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,9 +70,9 @@ pub fn acquire_fixed_vs_random(
     let zero_inputs = vec![false; nl.inputs().len()];
 
     let acquire_one = |values: &[bool],
-                           rng: &mut StdRng,
-                           sim: &mut CycleSim<'_>,
-                           recorder: &mut TraceRecorder|
+                       rng: &mut StdRng,
+                       sim: &mut CycleSim<'_>,
+                       recorder: &mut TraceRecorder|
      -> Result<Vec<f64>, NetlistError> {
         let share_bits: Vec<bool> = (0..2 * values.len()).map(|_| rng.gen()).collect();
         let randoms: Vec<bool> = (0..masked.num_randoms).map(|_| rng.gen()).collect();
@@ -180,8 +179,7 @@ mod tests {
             traces_per_group: 800,
             ..TraceCampaign::default()
         };
-        let groups =
-            acquire_fixed_vs_random(&masked, &[true, true], &campaign).expect("acquire");
+        let groups = acquire_fixed_vs_random(&masked, &[true, true], &campaign).expect("acquire");
         let result = tvla(&groups.fixed, &groups.random);
         assert!(
             !result.leaks(),

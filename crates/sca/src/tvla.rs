@@ -97,8 +97,7 @@ pub fn tvla(group_a: &[Vec<f64>], group_b: &[Vec<f64>]) -> TvlaResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
     fn noisy(mean: f64, n: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);

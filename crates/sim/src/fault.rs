@@ -103,11 +103,7 @@ impl<'a> FaultSim<'a> {
     ///
     /// Panics on input width mismatch.
     pub fn eval_with_faults(&self, inputs: &[bool], faults: &[Fault]) -> Vec<bool> {
-        assert_eq!(
-            inputs.len(),
-            self.nl.inputs().len(),
-            "input width mismatch"
-        );
+        assert_eq!(inputs.len(), self.nl.inputs().len(), "input width mismatch");
         let mut forced: Vec<Option<&Fault>> = vec![None; self.nl.num_nets()];
         for f in faults {
             forced[f.net.index()] = Some(f);

@@ -69,11 +69,7 @@ impl<'a> PackedSim<'a> {
     ///
     /// Panics on input/state width mismatch.
     pub fn eval_with_state(&self, inputs: &[u64], state: &[u64]) -> Vec<u64> {
-        assert_eq!(
-            inputs.len(),
-            self.nl.inputs().len(),
-            "input width mismatch"
-        );
+        assert_eq!(inputs.len(), self.nl.inputs().len(), "input width mismatch");
         let dffs = self.nl.dffs();
         assert_eq!(state.len(), dffs.len(), "state width mismatch");
         let mut values = vec![0u64; self.nl.num_nets()];

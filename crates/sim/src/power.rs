@@ -8,15 +8,14 @@
 //! of nets that toggled between consecutive states). Both are supported;
 //! HD is the default because it models CMOS switching.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rand_distr_normal::Normal;
 use seceda_netlist::Netlist;
+use seceda_testkit::rng::{SeedableRng, StdRng};
 
 /// Minimal internal normal sampler (Box–Muller) so we do not need the
 /// `rand_distr` crate.
 mod rand_distr_normal {
-    use rand::Rng;
+    use seceda_testkit::rng::Rng;
 
     /// Normal distribution via the Box–Muller transform.
     #[derive(Debug, Clone, Copy, PartialEq)]
@@ -188,7 +187,10 @@ mod tests {
         let mut rec = TraceRecorder::new(
             &nl,
             PowerModel::HammingWeight,
-            NoiseModel { sigma: 0.0, seed: 0 },
+            NoiseModel {
+                sigma: 0.0,
+                seed: 0,
+            },
         );
         assert_eq!(rec.sample(&[true, true, false]), 2.0);
         assert_eq!(rec.sample(&[false, false, false]), 0.0);
@@ -200,7 +202,10 @@ mod tests {
         let mut rec = TraceRecorder::new(
             &nl,
             PowerModel::HammingDistance,
-            NoiseModel { sigma: 0.0, seed: 0 },
+            NoiseModel {
+                sigma: 0.0,
+                seed: 0,
+            },
         );
         assert_eq!(rec.sample(&[true, false, true]), 0.0); // no reference yet
         assert_eq!(rec.sample(&[false, false, true]), 1.0);
@@ -213,7 +218,10 @@ mod tests {
         let mut rec = TraceRecorder::new(
             &nl,
             PowerModel::HammingWeight,
-            NoiseModel { sigma: 0.0, seed: 0 },
+            NoiseModel {
+                sigma: 0.0,
+                seed: 0,
+            },
         );
         rec.set_weights(vec![2.0, 3.0, 5.0]);
         assert_eq!(rec.sample(&[true, false, true]), 7.0);
@@ -226,7 +234,10 @@ mod tests {
             TraceRecorder::new(
                 &nl,
                 PowerModel::HammingWeight,
-                NoiseModel { sigma: 2.0, seed: 42 },
+                NoiseModel {
+                    sigma: 2.0,
+                    seed: 42,
+                },
             )
         };
         let mut a = mk();
@@ -242,7 +253,10 @@ mod tests {
         let mut rec = TraceRecorder::new(
             &nl,
             PowerModel::HammingWeight,
-            NoiseModel { sigma: 1.0, seed: 7 },
+            NoiseModel {
+                sigma: 1.0,
+                seed: 7,
+            },
         );
         let n = 4000;
         let samples: Vec<f64> = (0..n).map(|_| rec.sample(&[false, false, false])).collect();

@@ -5,9 +5,8 @@
 //! basic statistic behind trigger analysis and test generation.
 
 use crate::packed::PackedSim;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{Netlist, NetlistError};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Estimates, for every net, `P[net = 1]` under uniform random primary
 /// inputs, using `num_rounds` packed simulations (64 patterns each).

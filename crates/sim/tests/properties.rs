@@ -1,8 +1,8 @@
 //! Property-based tests for the simulation engines.
 
-use proptest::prelude::*;
 use seceda_netlist::{random_circuit, RandomCircuitConfig};
 use seceda_sim::{pack_patterns, EventSim, Fault, FaultSim, PackedSim};
+use seceda_testkit::prelude::*;
 
 fn circuit(seed: u64, gates: usize) -> seceda_netlist::Netlist {
     random_circuit(&RandomCircuitConfig {

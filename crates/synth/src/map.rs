@@ -48,7 +48,9 @@ pub fn decompose_to_two_input(nl: &Netlist) -> Netlist {
         }
         let mut out = layer[0];
         if invert {
-            out = rb.netlist_mut().add_gate_tagged(CellKind::Not, &[out], g.tags);
+            out = rb
+                .netlist_mut()
+                .add_gate_tagged(CellKind::Not, &[out], g.tags);
         }
         rb.alias(g.output, out);
     }
@@ -244,13 +246,10 @@ mod tests {
         for nl in [c17(), majority(), parity_tree(5)] {
             let mapped = map_to_nand(&nl);
             assert_eq!(nl.truth_table(), mapped.truth_table(), "{}", nl.name());
-            assert!(mapped
-                .gates()
-                .iter()
-                .all(|g| matches!(
-                    g.kind,
-                    CellKind::Nand | CellKind::Not | CellKind::Const0 | CellKind::Const1
-                )));
+            assert!(mapped.gates().iter().all(|g| matches!(
+                g.kind,
+                CellKind::Nand | CellKind::Not | CellKind::Const0 | CellKind::Const1
+            )));
         }
     }
 

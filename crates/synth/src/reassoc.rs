@@ -85,9 +85,10 @@ pub fn reassociate(nl: &Netlist, mode: SynthesisMode) -> (Netlist, ReassocReport
         // interior iff exactly one load and that load is a 2-input XOR
         let loads = fanout[out.index()];
         let single_xor_load = loads == 1
-            && work.gates().iter().any(|h| {
-                h.kind == CellKind::Xor && h.inputs.len() == 2 && h.inputs.contains(&out)
-            })
+            && work
+                .gates()
+                .iter()
+                .any(|h| h.kind == CellKind::Xor && h.inputs.len() == 2 && h.inputs.contains(&out))
             && !work.outputs().iter().any(|&(o, _)| o == out);
         if !single_xor_load {
             roots.push(out);
@@ -101,8 +102,8 @@ pub fn reassociate(nl: &Netlist, mode: SynthesisMode) -> (Netlist, ReassocReport
         let mut tree_gates: Vec<NetId> = Vec::new();
         let mut stack = vec![(root, true)];
         while let Some((net, is_root)) = stack.pop() {
-            let expandable = is_xor2(&work, net)
-                && (is_root || fan_or(&fanout, net, usize::MAX) == 1);
+            let expandable =
+                is_xor2(&work, net) && (is_root || fan_or(&fanout, net, usize::MAX) == 1);
             if expandable {
                 let gid = work.net(net).driver.expect("xor driver");
                 if work.gate(gid).tags.no_reassoc {
@@ -150,8 +151,7 @@ pub fn reassociate(nl: &Netlist, mode: SynthesisMode) -> (Netlist, ReassocReport
                     continue;
                 };
                 let g = work.gate(gid);
-                if g.kind != CellKind::And || g.inputs.len() != 2 || g.inputs[0] == g.inputs[1]
-                {
+                if g.kind != CellKind::And || g.inputs.len() != 2 || g.inputs[0] == g.inputs[1] {
                     continue;
                 }
                 if fan_or(&fanout, leaf, 1) != 1 {
@@ -265,12 +265,7 @@ mod tests {
         let (opt, report) = reassociate(&nl, SynthesisMode::Classical);
         assert_eq!(nl.truth_table(), opt.truth_table());
         assert!(report.factorings >= 1, "report: {report:?}");
-        let ands = |n: &Netlist| {
-            n.gates()
-                .iter()
-                .filter(|g| g.kind == CellKind::And)
-                .count()
-        };
+        let ands = |n: &Netlist| n.gates().iter().filter(|g| g.kind == CellKind::And).count();
         assert_eq!(ands(&nl), 3);
         assert_eq!(ands(&opt), 1, "three products share `a` and must factor");
     }

@@ -17,11 +17,7 @@ impl Rebuilder {
         let mut out = Netlist::new(src.name());
         let mut map = vec![None; src.num_nets()];
         for &pi in src.inputs() {
-            let name = src
-                .net(pi)
-                .name
-                .clone()
-                .unwrap_or_else(|| pi.to_string());
+            let name = src.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
             map[pi.index()] = Some(out.add_input(name));
         }
         Rebuilder { out, map }
@@ -102,7 +98,11 @@ pub fn fold_constants(nl: &Netlist, mode: SynthesisMode) -> Netlist {
     // constant knowledge about *new* nets
     let mut konst: HashMap<NetId, bool> = HashMap::new();
     let const_net = |rb: &mut Rebuilder, konst: &mut HashMap<NetId, bool>, v: bool| {
-        let kind = if v { CellKind::Const1 } else { CellKind::Const0 };
+        let kind = if v {
+            CellKind::Const1
+        } else {
+            CellKind::Const0
+        };
         let n = rb.netlist_mut().add_gate(kind, &[]);
         konst.insert(n, v);
         n
@@ -137,7 +137,9 @@ pub fn fold_constants(nl: &Netlist, mode: SynthesisMode) -> Netlist {
                     rb.alias(g.output, n);
                 }
                 None => {
-                    let n = rb.netlist_mut().add_gate_tagged(CellKind::Not, &[ins[0]], g.tags);
+                    let n = rb
+                        .netlist_mut()
+                        .add_gate_tagged(CellKind::Not, &[ins[0]], g.tags);
                     rb.alias(g.output, n);
                 }
             },
@@ -164,9 +166,9 @@ pub fn fold_constants(nl: &Netlist, mode: SynthesisMode) -> Netlist {
                     }
                     1 => {
                         if inverted {
-                            let n = rb
-                                .netlist_mut()
-                                .add_gate_tagged(CellKind::Not, &[live[0]], g.tags);
+                            let n =
+                                rb.netlist_mut()
+                                    .add_gate_tagged(CellKind::Not, &[live[0]], g.tags);
                             rb.alias(g.output, n);
                         } else {
                             rb.alias(g.output, live[0]);
@@ -183,9 +185,9 @@ pub fn fold_constants(nl: &Netlist, mode: SynthesisMode) -> Netlist {
                         } else {
                             let n = rb.netlist_mut().add_gate_tagged(base, &live, g.tags);
                             if inverted {
-                                let ni = rb
-                                    .netlist_mut()
-                                    .add_gate_tagged(CellKind::Not, &[n], g.tags);
+                                let ni =
+                                    rb.netlist_mut()
+                                        .add_gate_tagged(CellKind::Not, &[n], g.tags);
                                 rb.alias(g.output, ni);
                             } else {
                                 rb.alias(g.output, n);
@@ -211,16 +213,20 @@ pub fn fold_constants(nl: &Netlist, mode: SynthesisMode) -> Netlist {
                     }
                     1 => {
                         if parity {
-                            let n = rb
-                                .netlist_mut()
-                                .add_gate_tagged(CellKind::Not, &[live[0]], g.tags);
+                            let n =
+                                rb.netlist_mut()
+                                    .add_gate_tagged(CellKind::Not, &[live[0]], g.tags);
                             rb.alias(g.output, n);
                         } else {
                             rb.alias(g.output, live[0]);
                         }
                     }
                     _ => {
-                        let kind = if parity { CellKind::Xnor } else { CellKind::Xor };
+                        let kind = if parity {
+                            CellKind::Xnor
+                        } else {
+                            CellKind::Xor
+                        };
                         let n = rb.netlist_mut().add_gate_tagged(kind, &live, g.tags);
                         rb.alias(g.output, n);
                     }
@@ -443,12 +449,7 @@ mod tests {
         nl.mark_output(cmp, "ok");
         let classical = dedup(&nl, SynthesisMode::Classical);
         let aware = dedup(&nl, SynthesisMode::SecurityAware);
-        let count = |n: &Netlist| {
-            n.gates()
-                .iter()
-                .filter(|g| g.kind == CellKind::And)
-                .count()
-        };
+        let count = |n: &Netlist| n.gates().iter().filter(|g| g.kind == CellKind::And).count();
         assert_eq!(count(&classical), 1, "classical CSE merges the redundancy");
         assert_eq!(count(&aware), 2, "security-aware CSE must keep both copies");
     }

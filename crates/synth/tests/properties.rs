@@ -2,12 +2,12 @@
 //! security-vs-optimization contract: classical mode may restructure
 //! anything; security-aware mode must leave protected gates alone.
 
-use proptest::prelude::*;
 use seceda_netlist::{random_circuit, GateTags, Netlist, RandomCircuitConfig};
 use seceda_synth::{
-    decompose_to_two_input, dedup, fold_constants, map_to_nand, map_to_xag, optimize,
-    reassociate, sweep, wddl_transform, SynthesisMode, WddlNetlist,
+    decompose_to_two_input, dedup, fold_constants, map_to_nand, map_to_xag, optimize, reassociate,
+    sweep, wddl_transform, SynthesisMode, WddlNetlist,
 };
+use seceda_testkit::prelude::*;
 
 fn host(seed: u64, gates: usize) -> Netlist {
     random_circuit(&RandomCircuitConfig {

@@ -6,10 +6,9 @@
 //! outside the golden envelope is flagged. The measurement is our
 //! event-driven simulator with per-gate delay variation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{Netlist, NetlistError};
 use seceda_sim::EventSim;
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Fingerprinting parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]

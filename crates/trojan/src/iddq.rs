@@ -8,9 +8,8 @@
 //! population's envelope. Regional measurement is what makes small
 //! Trojans visible — globally their contribution drowns in variation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{CellKind, Netlist};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// IDDQ analysis parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]

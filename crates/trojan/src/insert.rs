@@ -1,9 +1,8 @@
 //! Rare-trigger Trojan insertion.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{CellKind, GateTags, NetId, Netlist};
 use seceda_sim::signal_probabilities;
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// What the Trojan does when its trigger fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -174,7 +173,7 @@ pub fn insert_trojan(
 
     let mut infested = nl.clone();
     let tags = GateTags::default(); // Trojans are, of course, untagged
-    // trigger conjunction: AND of (net XNOR rare_value)
+                                    // trigger conjunction: AND of (net XNOR rare_value)
     let lits: Vec<NetId> = trigger
         .iter()
         .map(|&(n, v)| {
@@ -223,11 +222,8 @@ pub fn insert_trojan(
             infested.clear_outputs();
             for (k, (net, name)) in originals.into_iter().enumerate() {
                 if k == 0 {
-                    let leaky = infested.add_gate_tagged(
-                        CellKind::Mux,
-                        &[trigger_net, net, secret],
-                        tags,
-                    );
+                    let leaky =
+                        infested.add_gate_tagged(CellKind::Mux, &[trigger_net, net, secret], tags);
                     infested.mark_output(leaky, name);
                 } else {
                     infested.mark_output(net, name);
@@ -273,8 +269,7 @@ mod tests {
         let nl = host();
         let trojan = insert_trojan(&nl, &TrojanConfig::default()).expect("insert");
         // function preserved while dormant; trigger rarely fires
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use seceda_testkit::rng::{SeedableRng, StdRng};
         let mut rng = StdRng::seed_from_u64(404);
         let mut fired = 0usize;
         let trials = 400;

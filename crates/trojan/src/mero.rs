@@ -6,10 +6,9 @@
 //! trigger conjunction. This module generates such an N-detect set by
 //! filtered random sampling and grades it against sampled triggers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use seceda_netlist::{NetId, Netlist, NetlistError};
 use seceda_sim::{pack_patterns, signal_probabilities, PackedSim};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// MERO parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,10 +56,7 @@ impl MeroTestSet {
         if self.rare_nodes.is_empty() {
             return 1.0;
         }
-        self.activations
-            .iter()
-            .filter(|&&a| a >= n_detect)
-            .count() as f64
+        self.activations.iter().filter(|&&a| a >= n_detect).count() as f64
             / self.rare_nodes.len() as f64
     }
 }
@@ -211,11 +207,26 @@ mod tests {
         let config = MeroConfig::default();
         let tests = generate_mero_tests(&nl, &config).expect("generate");
         assert!(!tests.patterns.is_empty());
-        // some "rare" nodes are outright unreachable by random stimuli;
-        // MERO saturates the reachable ones
+        // some "rare" nodes are outright unreachable by random stimuli
+        // (their activation count stays at zero no matter the budget);
+        // MERO's guarantee is that it saturates the *reachable* ones
+        let reachable: Vec<usize> = tests
+            .activations
+            .iter()
+            .copied()
+            .filter(|&a| a > 0)
+            .collect();
+        assert!(!reachable.is_empty());
+        let reachable_sat = reachable.iter().filter(|&&a| a >= config.n_detect).count() as f64
+            / reachable.len() as f64;
         assert!(
-            tests.satisfaction(config.n_detect) > 0.6,
-            "most rare nodes should reach N activations: {}",
+            reachable_sat > 0.9,
+            "reachable rare nodes should reach N activations: {reachable_sat}"
+        );
+        // and the overall satisfaction still covers a majority-ish share
+        assert!(
+            tests.satisfaction(config.n_detect) > 0.5,
+            "overall satisfaction: {}",
             tests.satisfaction(config.n_detect)
         );
     }
@@ -228,8 +239,7 @@ mod tests {
         let mero_cov = trigger_coverage(&nl, &tests, 2, 200, 5).expect("grade");
 
         // plain random set of the same size
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
         let mut rng = StdRng::seed_from_u64(777);
         let random_set = MeroTestSet {
             patterns: (0..tests.patterns.len())

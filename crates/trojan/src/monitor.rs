@@ -105,9 +105,8 @@ pub fn insert_rare_event_monitor(
 mod tests {
     use super::*;
     use crate::insert::{insert_trojan, TrojanConfig};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use seceda_netlist::{random_circuit, RandomCircuitConfig};
+    use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
     fn host() -> Netlist {
         random_circuit(&RandomCircuitConfig {
@@ -122,8 +121,7 @@ mod tests {
     #[test]
     fn monitor_preserves_function_and_rarely_fires() {
         let nl = host();
-        let monitored =
-            insert_rare_event_monitor(&nl, 3, 4, 0.2, 1).expect("instrument");
+        let monitored = insert_rare_event_monitor(&nl, 3, 4, 0.2, 1).expect("instrument");
         let mut rng = StdRng::seed_from_u64(55);
         let mut alarms = 0usize;
         let trials = 300;

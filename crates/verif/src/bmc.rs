@@ -64,8 +64,7 @@ pub fn bmc_reach(
         let (net, _) = nl.outputs()[output_index].clone();
         let out_var = frames[depth - 1].vars[net.index()];
         let mut solver = Solver::from_cnf(&cnf);
-        if let SatResult::Sat(model) = solver.solve_with_assumptions(&[out_var.lit(target_value)])
-        {
+        if let SatResult::Sat(model) = solver.solve_with_assumptions(&[out_var.lit(target_value)]) {
             let witness = frames
                 .iter()
                 .map(|fr| {

@@ -98,11 +98,7 @@ pub fn prove_detection(protected: &ProtectedNetlist) -> Result<DetectionProof, N
         match solver.solve_with_assumptions(&[any, alarm.neg()]) {
             SatResult::Unsat => proven += 1,
             SatResult::Sat(model) => {
-                let witness = good
-                    .input_vars
-                    .iter()
-                    .map(|v| model[v.index()])
-                    .collect();
+                let witness = good.input_vars.iter().map(|v| model[v.index()]).collect();
                 violations.push((fault, witness));
             }
         }

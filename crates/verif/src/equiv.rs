@@ -35,13 +35,9 @@ pub fn check_equivalence(a: &Netlist, b: &Netlist) -> Result<EquivResult, Netlis
     let mut solver = Solver::from_cnf(&cnf);
     Ok(match solver.solve_with_assumptions(&[diff]) {
         SatResult::Unsat => EquivResult::Equivalent,
-        SatResult::Sat(model) => EquivResult::Counterexample(
-            enc_a
-                .input_vars
-                .iter()
-                .map(|v| model[v.index()])
-                .collect(),
-        ),
+        SatResult::Sat(model) => {
+            EquivResult::Counterexample(enc_a.input_vars.iter().map(|v| model[v.index()]).collect())
+        }
     })
 }
 
@@ -62,7 +58,9 @@ mod tests {
     fn roundtripped_circuit_stays_equivalent() {
         let nl = c17();
         let back = parse_netlist(&seceda_netlist::format_netlist(&nl)).expect("parse");
-        assert!(check_equivalence(&nl, &back).expect("check").is_equivalent());
+        assert!(check_equivalence(&nl, &back)
+            .expect("check")
+            .is_equivalent());
     }
 
     #[test]

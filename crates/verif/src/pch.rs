@@ -125,7 +125,10 @@ pub fn check_certificate(nl: &Netlist, cert: &Certificate) -> Result<bool, Netli
         Property::Isolated {
             from_input,
             to_output,
-        } => Ok(matches!(path_exists(nl, from_input, to_output), Some(false))),
+        } => Ok(matches!(
+            path_exists(nl, from_input, to_output),
+            Some(false)
+        )),
         Property::EquivalentTo(reference) => {
             Ok(check_equivalence(nl, reference)? == EquivResult::Equivalent)
         }

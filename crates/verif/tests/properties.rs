@@ -1,8 +1,8 @@
 //! Property-based tests for the verification crate.
 
-use proptest::prelude::*;
 use seceda_netlist::{random_circuit, RandomCircuitConfig};
 use seceda_synth::{map_to_nand, optimize, SynthesisMode};
+use seceda_testkit::prelude::*;
 use seceda_verif::{check_equivalence, fingerprint, EquivResult};
 
 fn host(seed: u64, gates: usize) -> seceda_netlist::Netlist {

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- exact verification, before synthesis ---
     let leaks = first_order_leaks(&masked.netlist, &model);
-    println!("\nexact probing check (pre-synthesis): {} leaking wires", leaks.len());
+    println!(
+        "\nexact probing check (pre-synthesis): {} leaking wires",
+        leaks.len()
+    );
 
     // --- security-aware synthesis: barriers respected ---
     let (aware, aware_report) = reassociate(&masked.netlist, SynthesisMode::SecurityAware);
@@ -74,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let broken_groups = acquire_fixed_vs_random(&broken_masked, &fixed_value, &campaign)?;
     let t_broken = tvla(&broken_groups.fixed, &broken_groups.random);
 
-    println!("\nTVLA with {} traces per group (threshold |t| > {TVLA_THRESHOLD}):", 2000);
+    println!(
+        "\nTVLA with {} traces per group (threshold |t| > {TVLA_THRESHOLD}):",
+        2000
+    );
     println!(
         "  as designed:          max |t| = {:6.2}  -> {}",
         t_secure.max_abs_t,

@@ -10,9 +10,7 @@
 //! cargo run --example secure_composition
 //! ```
 
-use seceda_core::{
-    CompositionEngine, Countermeasure, DesignUnderTest, SecurityEvaluation,
-};
+use seceda_core::{CompositionEngine, Countermeasure, DesignUnderTest, SecurityEvaluation};
 use seceda_netlist::{CellKind, Netlist};
 
 fn print_outcome(tag: &str, outcome: &seceda_core::EvaluationOutcome) {
@@ -57,10 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("   fault metric would have shipped this design.");
 
     println!("\n== attempt 2: masking, then share-wise duplication ==");
-    let mut engine = CompositionEngine::new(
-        DesignUnderTest::new(nl),
-        SecurityEvaluation::default(),
-    );
+    let mut engine =
+        CompositionEngine::new(DesignUnderTest::new(nl), SecurityEvaluation::default());
     engine.evaluate("baseline")?;
     let masked = engine.apply(Countermeasure::Masking)?;
     print_outcome("after masking", &masked);

@@ -7,12 +7,12 @@
 //! cargo run --example supply_chain
 //! ```
 
+use seceda_dft::{scan_attack_recover_key, scan_victim, secure_scan_wrap};
 use seceda_layout::{
     lift_wires, place, proximity_attack, route, split_at, PlacementConfig, RouteConfig,
 };
 use seceda_lock::{output_corruption, sat_attack, sfll_hd0, xor_lock};
 use seceda_netlist::{c17, random_circuit, RandomCircuitConfig};
-use seceda_dft::{scan_attack_recover_key, scan_victim, secure_scan_wrap};
 use seceda_trojan::{
     generate_mero_tests, insert_trojan, trigger_coverage, MeroConfig, TrojanConfig,
 };
@@ -87,10 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tests.patterns.len(),
         coverage * 100.0
     );
-    let fired = tests
-        .patterns
-        .iter()
-        .any(|p| trojan.trigger_fires(p));
+    let fired = tests.patterns.iter().any(|p| trojan.trigger_fires(p));
     println!("  -> the inserted Trojan is excited by the test set: {fired}");
 
     println!("\n=== 4. scan-chain attack vs secure scan ===");

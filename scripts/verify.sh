@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build and test the workspace fully offline.
+#
+# The workspace has no external dependencies (see DESIGN.md §3), so
+# --offline must always succeed — any network fetch is a regression.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo build --benches --offline"
+cargo build --benches --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> verify OK"

@@ -7,14 +7,17 @@ use seceda_dft::{scan_attack_recover_key, scan_victim, secure_scan_wrap};
 use seceda_fia::{dfa_attack, FaultDiscriminator, FaultVerdict};
 use seceda_puf::{collect_crps, model_arbiter_puf, ArbiterPuf, ArbiterPufConfig, XorArbiterPuf};
 use seceda_sca::{cpa::cpa_attack_with_model, traces::acquire_cpa_traces, TraceCampaign};
-use seceda_trojan::{insert_trojan, insert_rare_event_monitor, TrojanConfig};
+use seceda_trojan::{insert_rare_event_monitor, insert_trojan, TrojanConfig};
 
 #[test]
 fn cpa_beats_the_unprotected_sbox() {
     let victim = sbox_first_round_registered();
     let campaign = TraceCampaign {
         traces_per_group: 1200,
-        noise: seceda_sim::NoiseModel { sigma: 1.0, seed: 3 },
+        noise: seceda_sim::NoiseModel {
+            sigma: 1.0,
+            seed: 3,
+        },
         ..TraceCampaign::default()
     };
     let key = 0xC3;
@@ -43,7 +46,11 @@ fn dfa_beats_the_unprotected_toy_cipher_and_dies_on_infection() {
         .collect();
     let open = dfa_attack(&pairs);
     assert!(open.candidates.contains(&key));
-    assert!(open.candidates.len() <= 4, "{} candidates", open.candidates.len());
+    assert!(
+        open.candidates.len() <= 4,
+        "{} candidates",
+        open.candidates.len()
+    );
 
     // with infection, the "faulty ciphertext" is scrambled junk and the
     // true key no longer stands out

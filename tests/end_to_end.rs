@@ -30,7 +30,11 @@ fn toy_cipher_survives_the_whole_classical_flow() {
         let mut inputs = u64_to_bits(pt as u64, 16);
         inputs.extend(u64_to_bits(key as u64, 16));
         let hw = bits_to_u64(&report.result.evaluate(&inputs)) as u16;
-        assert_eq!(hw, ToyCipher::new(key).encrypt(pt), "pt {pt:#x} key {key:#x}");
+        assert_eq!(
+            hw,
+            ToyCipher::new(key).encrypt(pt),
+            "pt {pt:#x} key {key:#x}"
+        );
     }
     // and the flow should have shrunk the mux-tree S-boxes
     assert!(report.result.num_gates() <= nl.num_gates());
@@ -61,7 +65,11 @@ fn locked_design_placed_routed_split_and_attacked() {
     let locked = xor_lock(&nl, 10, 77);
     let synthesized = optimize(&locked.netlist, SynthesisMode::SecurityAware);
     // key gates must survive security-aware optimization
-    let key_gates = synthesized.gates().iter().filter(|g| g.tags.key_gate).count();
+    let key_gates = synthesized
+        .gates()
+        .iter()
+        .filter(|g| g.tags.key_gate)
+        .count();
     assert_eq!(key_gates, 10);
 
     let placement = place(&synthesized, &PlacementConfig::default());
@@ -97,8 +105,7 @@ fn nand_mapping_then_masking_then_probing() {
     let model = ProbingModel::of(&masked);
     assert!(first_order_leaks(&masked.netlist, &model).is_empty());
     // functional correctness of the masked NAND-mapped design
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
     let mut rng = StdRng::seed_from_u64(5);
     for _ in 0..50 {
         let a: bool = rng.gen();

@@ -2,16 +2,14 @@
 //! synthesis, mapping, masking, encoding and text-format layers, with
 //! function preservation as the invariant.
 
-use proptest::prelude::*;
-use seceda_netlist::{
-    format_netlist, parse_netlist, random_circuit, RandomCircuitConfig,
-};
+use seceda_netlist::{format_netlist, parse_netlist, random_circuit, RandomCircuitConfig};
 use seceda_sat::{encode_netlist, Cnf, SatResult, Solver};
 use seceda_sca::mask_netlist;
 use seceda_sim::{pack_patterns, PackedSim};
 use seceda_synth::{
     decompose_to_two_input, map_to_nand, map_to_xag, optimize, reassociate, SynthesisMode,
 };
+use seceda_testkit::prelude::*;
 
 fn small_circuit(seed: u64, gates: usize) -> seceda_netlist::Netlist {
     random_circuit(&RandomCircuitConfig {
