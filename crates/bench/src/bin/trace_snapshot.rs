@@ -1,0 +1,42 @@
+//! Emits the flow telemetry of both EDA flows as JSON-lines on stdout:
+//! first the raw span/counter/gauge events, then one `breakdown` line
+//! per design with the per-stage wall-time rollup. Every line is a
+//! standalone JSON object parseable by `seceda_testkit::json`.
+//!
+//! ```sh
+//! cargo run -p seceda-bench --release --bin trace_snapshot
+//! ```
+
+use seceda_bench::{masked_and_gadget, stage_breakdown, traced_flows};
+use seceda_testkit::json::Json;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let designs = vec![
+        seceda_netlist::c17(),
+        masked_and_gadget().0.netlist,
+        seceda_netlist::majority(),
+    ];
+    for nl in &designs {
+        let (_, _, events) = traced_flows(nl)?;
+        println!(
+            "{}",
+            Json::obj()
+                .field("type", "design")
+                .field("name", nl.name())
+                .field("gates", nl.num_gates())
+                .build()
+                .render()
+        );
+        print!("{}", seceda_trace::to_json_lines(&events));
+        println!(
+            "{}",
+            Json::obj()
+                .field("type", "breakdown")
+                .field("design", nl.name())
+                .field("stages", stage_breakdown(&events))
+                .build()
+                .render()
+        );
+    }
+    Ok(())
+}

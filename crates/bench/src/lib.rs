@@ -12,6 +12,65 @@
 //! Benches: `fig1_flow`, `fig2_private_circuit`, `table1_threats`,
 //! `table2_matrix`, `composition_crosseffect`, `step_metrics`.
 
+use seceda_core::FlowReport;
+use seceda_netlist::{Netlist, NetlistError};
+use seceda_testkit::json::Json;
+use seceda_trace::{session, AttrValue, Event, Summary};
+
+/// Runs both flows over `nl` inside an isolated trace session and
+/// returns the reports together with the recorded telemetry events.
+///
+/// # Errors
+///
+/// Propagates simulator errors from either flow.
+pub fn traced_flows(nl: &Netlist) -> Result<(FlowReport, FlowReport, Vec<Event>), NetlistError> {
+    let (reports, events) = session(|| {
+        let classical = seceda_core::run_classical_flow(nl)?;
+        let secure = seceda_core::run_secure_flow(nl)?;
+        Ok::<_, NetlistError>((classical, secure))
+    });
+    let (classical, secure) = reports?;
+    Ok((classical, secure, events))
+}
+
+/// Per-stage wall-time breakdown of a traced flow run: one JSON object
+/// per `flow.stage` span, carrying its flow, stage name, total/self
+/// nanoseconds, and gate count — the shape the benchmark snapshots embed.
+pub fn stage_breakdown(events: &[Event]) -> Json {
+    let summary = Summary::of(events);
+    let mut rows = Vec::new();
+    for flow in summary
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("flow.") && s.name != "flow.stage")
+    {
+        for stage in summary
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(flow.id) && s.name == "flow.stage")
+        {
+            let stage_name = match stage.attr("stage") {
+                Some(AttrValue::Str(s)) => s.clone(),
+                _ => stage.name.clone(),
+            };
+            let gates = match stage.attr("gates") {
+                Some(AttrValue::Int(g)) => *g,
+                _ => 0,
+            };
+            rows.push(
+                Json::obj()
+                    .field("flow", flow.name.as_str())
+                    .field("stage", stage_name.as_str())
+                    .field("total_ns", stage.duration_ns() as i64)
+                    .field("self_ns", summary.self_time_ns(stage) as i64)
+                    .field("gates", gates)
+                    .build(),
+            );
+        }
+    }
+    Json::Arr(rows)
+}
+
 /// Builds the masked AND gadget shared by several experiments.
 pub fn masked_and_gadget() -> (seceda_sca::MaskedNetlist, seceda_sca::ProbingModel) {
     use seceda_netlist::{CellKind, Netlist};
@@ -23,4 +82,25 @@ pub fn masked_and_gadget() -> (seceda_sca::MaskedNetlist, seceda_sca::ProbingMod
     let masked = seceda_sca::mask_netlist(&nl);
     let model = seceda_sca::ProbingModel::of(&masked);
     (masked, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_has_one_row_per_stage_of_each_flow() {
+        let nl = seceda_netlist::c17();
+        let (classical, secure, events) = traced_flows(&nl).expect("flows");
+        match stage_breakdown(&events) {
+            Json::Arr(rows) => {
+                assert_eq!(rows.len(), classical.stages.len() + secure.stages.len());
+                for row in &rows {
+                    assert!(row.get("stage").is_some());
+                    assert!(row.get("total_ns").is_some());
+                }
+            }
+            other => panic!("breakdown must be an array, got {other:?}"),
+        }
+    }
 }

@@ -156,9 +156,13 @@ impl CompositionEngine {
     ///
     /// Propagates simulator errors.
     pub fn evaluate(&mut self, label: &str) -> Result<&SecurityReport, NetlistError> {
+        let mut eval_span = seceda_trace::span("compose.evaluate")
+            .with("label", label)
+            .with("gates", self.dut.netlist.num_gates());
         let mut report = SecurityReport::new(label);
 
         // --- side channels: exact first-order probing when masked ---
+        let sp = seceda_trace::span("compose.threat").with("threat", "side-channel");
         match &self.dut.probing_model {
             Some(model)
                 if self.dut.netlist.inputs().len()
@@ -186,8 +190,10 @@ impl CompositionEngine {
                 ));
             }
         }
+        drop(sp);
 
         // --- fault injection: detection coverage on single gate faults ---
+        let sp = seceda_trace::span("compose.threat").with("threat", "fault-injection");
         let protected = ProtectedNetlist {
             netlist: self.dut.netlist.clone(),
             alarm_index: self.dut.alarm_index,
@@ -217,8 +223,10 @@ impl CompositionEngine {
                 threshold: self.eval.min_fault_coverage,
             },
         ));
+        drop(sp);
 
         // --- piracy: locking key material present ---
+        let sp = seceda_trace::span("compose.threat").with("threat", "piracy");
         report.metrics.push(SecurityMetric::new(
             "locking key bits",
             ThreatVector::Piracy,
@@ -227,8 +235,10 @@ impl CompositionEngine {
                 threshold: self.eval.min_key_bits as f64,
             },
         ));
+        drop(sp);
 
         // --- Trojans: unmonitored rare-net surface ---
+        let sp = seceda_trace::span("compose.threat").with("threat", "trojan");
         let probs = signal_probabilities(&self.dut.netlist, 32, self.eval.seed ^ 2)?;
         // nets that never toggle (empirical rarity 0) cannot fire a
         // functional trigger and are excluded, matching the insertion
@@ -251,7 +261,15 @@ impl CompositionEngine {
                 threshold: self.eval.max_unmonitored_rare_nets as f64,
             },
         ));
+        drop(sp);
 
+        let failing = report
+            .metrics
+            .iter()
+            .filter(|m| m.verdict == crate::metrics::Verdict::Fail)
+            .count();
+        eval_span.attr("metrics", report.metrics.len());
+        eval_span.attr("failing", failing);
         self.history.push(report);
         Ok(self.history.last().expect("just pushed"))
     }
@@ -268,6 +286,8 @@ impl CompositionEngine {
     /// Panics if the countermeasure cannot apply to the current design
     /// (e.g. masking a sequential netlist).
     pub fn apply(&mut self, cm: Countermeasure) -> Result<EvaluationOutcome, NetlistError> {
+        let mut apply_span =
+            seceda_trace::span("compose.apply").with("countermeasure", format!("{cm:?}"));
         let baseline = self.history.last().cloned();
         match cm {
             Countermeasure::Masking => {
@@ -317,6 +337,8 @@ impl CompositionEngine {
                 .collect(),
             None => Vec::new(),
         };
+        apply_span.attr("regressions", regressions.len());
+        seceda_trace::counter("compose.reevaluations", 1);
         Ok(EvaluationOutcome {
             report,
             regressions,

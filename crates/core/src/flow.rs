@@ -34,6 +34,44 @@ pub struct StageReport {
     pub security_notes: Vec<String>,
 }
 
+impl StageReport {
+    /// Builds a stage record with gate count and area *freshly computed*
+    /// from `nl` — every stage re-measures the design it actually ends
+    /// on, instead of reusing numbers from an earlier stage.
+    pub fn record(
+        nl: &Netlist,
+        stage: impl Into<String>,
+        delay: f64,
+        security_notes: Vec<String>,
+    ) -> Self {
+        let stats = NetlistStats::of(nl);
+        StageReport {
+            stage: stage.into(),
+            gates: stats.num_gates,
+            area_ge: stats.area_ge,
+            delay,
+            security_notes,
+        }
+    }
+
+    /// Copies the stage metrics onto an open trace span.
+    pub fn annotate_span(&self, span: &mut seceda_trace::Span) {
+        span.attr("stage", self.stage.as_str());
+        span.attr("gates", self.gates);
+        span.attr("area_ge", self.area_ge);
+        span.attr("delay", self.delay);
+        span.attr("security_notes", self.security_notes.join("; "));
+    }
+}
+
+/// Closes a stage: annotates its span with the report and appends the
+/// report to the flow's stage list.
+fn finish_stage(stages: &mut Vec<StageReport>, mut span: seceda_trace::Span, report: StageReport) {
+    report.annotate_span(&mut span);
+    drop(span);
+    stages.push(report);
+}
+
 /// A full flow run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowReport {
@@ -80,73 +118,87 @@ fn test_prep_note(nl: &Netlist) -> Result<String, NetlistError> {
     ))
 }
 
-fn stage_metrics(nl: &Netlist) -> (usize, f64) {
-    let stats = NetlistStats::of(nl);
-    (stats.num_gates, stats.area_ge)
-}
-
 /// Runs the classical, security-unaware flow of Fig. 1: logic synthesis
 /// (full optimization incl. re-association), physical synthesis,
 /// timing/power analysis, and test preparation — PPA only.
+///
+/// With tracing on (`SECEDA_TRACE=1`) the run emits a `flow.classical`
+/// root span with one `flow.stage` child per Fig. 1 stage, each carrying
+/// gates/area/delay/security-note attributes.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn run_classical_flow(nl: &Netlist) -> Result<FlowReport, NetlistError> {
+    let _flow_span = seceda_trace::span("flow.classical").with("design", nl.name());
     let mut stages = Vec::new();
 
     // logic synthesis: every optimization fires, tags be damned
+    let sp = seceda_trace::span("flow.stage");
     let (reassoc, _) = reassociate(nl, SynthesisMode::Classical);
     let synthesized = optimize(&reassoc, SynthesisMode::Classical);
-    let (gates, area) = stage_metrics(&synthesized);
-    stages.push(StageReport {
-        stage: "logic synthesis".into(),
-        gates,
-        area_ge: area,
-        delay: seceda_netlist::DepthReport::of(&synthesized).critical_path,
-        security_notes: vec![
-            "skipped: ordering barriers ignored (Fig. 2 hazard)".into(),
-            "skipped: redundancy merged by CSE".into(),
-        ],
-    });
+    finish_stage(
+        &mut stages,
+        sp,
+        StageReport::record(
+            &synthesized,
+            "logic synthesis",
+            seceda_netlist::DepthReport::of(&synthesized).critical_path,
+            vec![
+                "skipped: ordering barriers ignored (Fig. 2 hazard)".into(),
+                "skipped: redundancy merged by CSE".into(),
+            ],
+        ),
+    );
 
     // physical synthesis
+    let sp = seceda_trace::span("flow.stage");
     let placement = place(&synthesized, &PlacementConfig::default());
     let routed = route(&synthesized, &placement, &RouteConfig::default());
     let timing = timing_report(&synthesized, &routed);
-    let (gates, area) = stage_metrics(&synthesized);
-    stages.push(StageReport {
-        stage: "physical synthesis".into(),
-        gates,
-        area_ge: area,
-        delay: timing.critical_path,
-        security_notes: vec![
-            "skipped: no leakage assessment (TVLA)".into(),
-            "skipped: no sensors/shields placed".into(),
-        ],
-    });
+    finish_stage(
+        &mut stages,
+        sp,
+        StageReport::record(
+            &synthesized,
+            "physical synthesis",
+            timing.critical_path,
+            vec![
+                "skipped: no leakage assessment (TVLA)".into(),
+                "skipped: no sensors/shields placed".into(),
+            ],
+        ),
+    );
 
     // timing & power verification
-    stages.push(StageReport {
-        stage: "timing/power verification".into(),
-        gates,
-        area_ge: area,
-        delay: timing.critical_path,
-        security_notes: vec!["skipped: no side-channel simulation".into()],
-    });
+    let sp = seceda_trace::span("flow.stage");
+    finish_stage(
+        &mut stages,
+        sp,
+        StageReport::record(
+            &synthesized,
+            "timing/power verification",
+            timing.critical_path,
+            vec!["skipped: no side-channel simulation".into()],
+        ),
+    );
 
     // test preparation
+    let sp = seceda_trace::span("flow.stage");
     let atpg_note = test_prep_note(&synthesized)?;
-    stages.push(StageReport {
-        stage: "test preparation".into(),
-        gates,
-        area_ge: area,
-        delay: timing.critical_path,
-        security_notes: vec![
-            atpg_note,
-            "skipped: scan chain left unprotected (scan-attack hazard)".into(),
-        ],
-    });
+    finish_stage(
+        &mut stages,
+        sp,
+        StageReport::record(
+            &synthesized,
+            "test preparation",
+            timing.critical_path,
+            vec![
+                atpg_note,
+                "skipped: scan chain left unprotected (scan-attack hazard)".into(),
+            ],
+        ),
+    );
 
     Ok(FlowReport {
         stages,
@@ -160,27 +212,23 @@ pub fn run_classical_flow(nl: &Netlist) -> Result<FlowReport, NetlistError> {
 /// security tags, every stage contributes a security metric, and the
 /// output is formally checked equivalent to the input.
 ///
+/// With tracing on (`SECEDA_TRACE=1`) the run emits a `flow.secure` root
+/// span with one `flow.stage` child per Table II stage, each carrying
+/// gates/area/delay/security-note attributes; nested synthesis, SAT,
+/// simulation, and ATPG spans hang off their stage.
+///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn run_secure_flow(nl: &Netlist) -> Result<FlowReport, NetlistError> {
+    let _flow_span = seceda_trace::span("flow.secure").with("design", nl.name());
     let mut stages = Vec::new();
     let mut security = SecurityReport::new("secure flow");
 
     // logic synthesis, tag-honoring
+    let sp = seceda_trace::span("flow.stage");
     let (reassoc, reassoc_report) = reassociate(nl, SynthesisMode::SecurityAware);
     let synthesized = optimize(&reassoc, SynthesisMode::SecurityAware);
-    let (gates, area) = stage_metrics(&synthesized);
-    stages.push(StageReport {
-        stage: "logic synthesis (security-aware)".into(),
-        gates,
-        area_ge: area,
-        delay: seceda_netlist::DepthReport::of(&synthesized).critical_path,
-        security_notes: vec![format!(
-            "{} XOR trees skipped at barriers, {} rebuilt",
-            reassoc_report.trees_skipped, reassoc_report.trees_rebuilt
-        )],
-    });
     let barriers = synthesized
         .gates()
         .iter()
@@ -207,21 +255,25 @@ pub fn run_secure_flow(nl: &Netlist) -> Result<FlowReport, NetlistError> {
             threshold: nl.gates().iter().filter(|g| g.tags.redundancy).count() as f64,
         },
     ));
+    finish_stage(
+        &mut stages,
+        sp,
+        StageReport::record(
+            &synthesized,
+            "logic synthesis (security-aware)",
+            seceda_netlist::DepthReport::of(&synthesized).critical_path,
+            vec![format!(
+                "{} XOR trees skipped at barriers, {} rebuilt",
+                reassoc_report.trees_skipped, reassoc_report.trees_rebuilt
+            )],
+        ),
+    );
 
     // physical synthesis + Trojan surface assessment
+    let sp = seceda_trace::span("flow.stage");
     let placement = place(&synthesized, &PlacementConfig::default());
     let routed = route(&synthesized, &placement, &RouteConfig::default());
     let timing = timing_report(&synthesized, &routed);
-    stages.push(StageReport {
-        stage: "physical synthesis (security-aware)".into(),
-        gates,
-        area_ge: area,
-        delay: timing.critical_path,
-        security_notes: vec![format!(
-            "wirelength {} (sensors/shields placeable via seceda-layout)",
-            routed.total_length
-        )],
-    });
     let probs = signal_probabilities(&synthesized, 32, 11)?;
     let rare = synthesized
         .gates()
@@ -231,34 +283,54 @@ pub fn run_secure_flow(nl: &Netlist) -> Result<FlowReport, NetlistError> {
             p.min(1.0 - p) <= 0.05
         })
         .count();
+    // reported for awareness; unmonitored designs have no universal
+    // rare-net threshold, so the metric never pass/fail-gates the flow
     security.metrics.push(SecurityMetric::new(
         "rare-net Trojan surface",
         ThreatVector::Trojan,
-        MetricValue::LowerBetter {
-            value: rare as f64,
-            threshold: f64::INFINITY.min(1e18), // informational
-        },
+        MetricValue::Informational { value: rare as f64 },
     ));
+    finish_stage(
+        &mut stages,
+        sp,
+        StageReport::record(
+            &synthesized,
+            "physical synthesis (security-aware)",
+            timing.critical_path,
+            vec![format!(
+                "wirelength {} (sensors/shields placeable via seceda-layout)",
+                routed.total_length
+            )],
+        ),
+    );
 
     // functional validation: formal equivalence against the input
+    let sp = seceda_trace::span("flow.stage");
     let equivalent = check_equivalence(nl, &synthesized)? == EquivResult::Equivalent;
-    stages.push(StageReport {
-        stage: "functional validation".into(),
-        gates,
-        area_ge: area,
-        delay: timing.critical_path,
-        security_notes: vec![format!("SAT equivalence: {equivalent}")],
-    });
+    finish_stage(
+        &mut stages,
+        sp,
+        StageReport::record(
+            &synthesized,
+            "functional validation",
+            timing.critical_path,
+            vec![format!("SAT equivalence: {equivalent}")],
+        ),
+    );
 
     // test preparation
+    let sp = seceda_trace::span("flow.stage");
     let atpg_note = test_prep_note(&synthesized)?;
-    stages.push(StageReport {
-        stage: "test preparation".into(),
-        gates,
-        area_ge: area,
-        delay: timing.critical_path,
-        security_notes: vec![atpg_note],
-    });
+    finish_stage(
+        &mut stages,
+        sp,
+        StageReport::record(
+            &synthesized,
+            "test preparation",
+            timing.critical_path,
+            vec![atpg_note],
+        ),
+    );
 
     Ok(FlowReport {
         stages,

@@ -26,23 +26,33 @@ pub enum MetricValue {
         /// Maximum acceptable value.
         threshold: f64,
     },
+    /// Reported for awareness but never pass/fail-gated — e.g. the
+    /// rare-net Trojan surface of an unmonitored design, where no
+    /// universal threshold exists. Always yields
+    /// [`Verdict::NotApplicable`].
+    Informational {
+        /// Measured value.
+        value: f64,
+    },
 }
 
 impl MetricValue {
-    /// Whether the metric meets its threshold.
+    /// Whether the metric meets its threshold. Informational metrics
+    /// have no threshold and never fail.
     pub fn passes(&self) -> bool {
         match *self {
             MetricValue::HigherBetter { value, threshold } => value >= threshold,
             MetricValue::LowerBetter { value, threshold } => value <= threshold,
+            MetricValue::Informational { .. } => true,
         }
     }
 
     /// The raw measured value.
     pub fn value(&self) -> f64 {
         match *self {
-            MetricValue::HigherBetter { value, .. } | MetricValue::LowerBetter { value, .. } => {
-                value
-            }
+            MetricValue::HigherBetter { value, .. }
+            | MetricValue::LowerBetter { value, .. }
+            | MetricValue::Informational { value } => value,
         }
     }
 }
@@ -73,14 +83,16 @@ pub struct SecurityMetric {
 
 impl SecurityMetric {
     /// Builds a metric, deriving the verdict from the value.
+    /// Informational values are never gated and report
+    /// [`Verdict::NotApplicable`].
     pub fn new(name: impl Into<String>, threat: ThreatVector, value: MetricValue) -> Self {
         SecurityMetric {
             name: name.into(),
             threat,
-            verdict: if value.passes() {
-                Verdict::Pass
-            } else {
-                Verdict::Fail
+            verdict: match value {
+                MetricValue::Informational { .. } => Verdict::NotApplicable,
+                _ if value.passes() => Verdict::Pass,
+                _ => Verdict::Fail,
             },
             value,
         }
@@ -147,8 +159,13 @@ impl SecurityReport {
 impl ToJson for MetricValue {
     fn to_json(&self) -> Json {
         let (direction, value, threshold) = match *self {
-            MetricValue::HigherBetter { value, threshold } => ("higher-better", value, threshold),
-            MetricValue::LowerBetter { value, threshold } => ("lower-better", value, threshold),
+            MetricValue::HigherBetter { value, threshold } => {
+                ("higher-better", value, Json::Num(threshold))
+            }
+            MetricValue::LowerBetter { value, threshold } => {
+                ("lower-better", value, Json::Num(threshold))
+            }
+            MetricValue::Informational { value } => ("informational", value, Json::Null),
         };
         Json::obj()
             .field("direction", direction)
@@ -208,6 +225,24 @@ mod tests {
             threshold: 4.5,
         };
         assert!(!t.passes());
+    }
+
+    #[test]
+    fn informational_metrics_never_gate() {
+        let m = SecurityMetric::new(
+            "rare-net Trojan surface",
+            ThreatVector::Trojan,
+            MetricValue::Informational { value: 12.0 },
+        );
+        assert_eq!(m.verdict, Verdict::NotApplicable);
+        assert!(m.value.passes());
+        assert_eq!(m.value.value(), 12.0);
+        let mut r = SecurityReport::new("x");
+        r.metrics.push(m.clone());
+        assert!(r.all_pass(), "informational metrics must not fail a report");
+        let j = m.value.to_json();
+        assert_eq!(j.get("direction"), Some(&Json::Str("informational".into())));
+        assert_eq!(j.get("threshold"), Some(&Json::Null));
     }
 
     #[test]

@@ -516,7 +516,7 @@ fn testing_cells() -> Vec<String> {
     let recovered = scan_attack_recover_key(&victim, 0xA7);
     let secured = secure_scan_wrap(scan_victim(0x42), 0xBEEF);
     let inputs = seceda_netlist::u64_to_bits(0xA7, 8);
-    let (_, state) = secured.capture(&vec![false; 8], &inputs);
+    let (_, state) = secured.capture(&[false; 8], &inputs);
     let scrambled = secured.dump_scrambled(&state, &inputs);
     let ordered: Vec<bool> = scrambled.iter().rev().copied().collect();
     let sbox_guess = seceda_netlist::bits_to_u64(&ordered) as u8;

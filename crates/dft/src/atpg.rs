@@ -86,6 +86,9 @@ pub fn generate_tests(
     random_patterns: usize,
     seed: u64,
 ) -> Result<AtpgResult, NetlistError> {
+    let mut sp = seceda_trace::span("dft.atpg");
+    sp.attr("gates", nl.num_gates());
+    sp.attr("random_patterns", random_patterns);
     let faults = stuck_at_universe(nl);
     let sim = FaultSim::new(nl)?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -95,10 +98,12 @@ pub fn generate_tests(
         .collect();
     let (detected, _) = sim.coverage(&patterns, &faults);
     let mut untestable = Vec::new();
+    let mut sat_queries = 0u64;
     for (k, &f) in faults.iter().enumerate() {
         if detected[k] {
             continue;
         }
+        sat_queries += 1;
         match generate_test_for(nl, f)? {
             Some(pattern) => patterns.push(pattern),
             None => untestable.push(f),
@@ -113,6 +118,13 @@ pub fn generate_tests(
     } else {
         covered as f64 / testable as f64
     };
+    seceda_trace::counter("dft.patterns_generated", patterns.len() as u64);
+    seceda_trace::counter("dft.sat_queries", sat_queries);
+    seceda_trace::counter("dft.aborted_faults", untestable.len() as u64);
+    sp.attr("total_faults", faults.len());
+    sp.attr("patterns", patterns.len());
+    sp.attr("untestable", untestable.len());
+    sp.attr("coverage", coverage);
     Ok(AtpgResult {
         patterns,
         untestable,

@@ -79,7 +79,7 @@ pub fn duplicate_with_compare(nl: &Netlist) -> ProtectedNetlist {
     let tags = redundancy_tags();
     let copy_a = clone_cone(nl, &mut out, &inputs, tags);
     let copy_b = clone_cone(nl, &mut out, &inputs, tags);
-    for (k, &(_, ref name)) in nl.outputs().iter().enumerate() {
+    for (k, (_, name)) in nl.outputs().iter().enumerate() {
         out.mark_output(copy_a[k], name.clone());
     }
     let diffs: Vec<NetId> = copy_a
@@ -120,7 +120,7 @@ pub fn triplicate_with_vote(nl: &Netlist) -> ProtectedNetlist {
     let copies: Vec<Vec<NetId>> = (0..3)
         .map(|_| clone_cone(nl, &mut out, &inputs, tags))
         .collect();
-    for (k, &(_, ref name)) in nl.outputs().iter().enumerate() {
+    for (k, (_, name)) in nl.outputs().iter().enumerate() {
         let (a, b, c) = (copies[0][k], copies[1][k], copies[2][k]);
         let ab = out.add_gate_tagged(CellKind::And, &[a, b], tags);
         let ac = out.add_gate_tagged(CellKind::And, &[a, c], tags);
@@ -196,7 +196,7 @@ pub fn parity_protect(nl: &Netlist) -> ProtectedNetlist {
     let tags = redundancy_tags();
     let functional = clone_cone(nl, &mut out, &inputs, GateTags::default());
     let predictor = clone_cone(nl, &mut out, &inputs, tags);
-    for (k, &(_, ref name)) in nl.outputs().iter().enumerate() {
+    for (k, (_, name)) in nl.outputs().iter().enumerate() {
         out.mark_output(functional[k], name.clone());
     }
     let parity = |out: &mut Netlist, nets: &[NetId]| -> NetId {

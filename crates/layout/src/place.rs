@@ -43,7 +43,7 @@ impl Default for PlacementConfig {
             steps: 60,
             initial_temperature: 10.0,
             cooling: 0.9,
-            seed: 0x91AC_E5,
+            seed: 0x0091_ACE5,
         }
     }
 }

@@ -24,6 +24,9 @@ impl Var {
     }
 
     /// The negative literal of this variable.
+    // named for symmetry with `pos`; this is literal polarity, not
+    // arithmetic negation, so `std::ops::Neg` would be misleading
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Lit {
         Lit((self.0 << 1) | 1)
     }

@@ -77,6 +77,8 @@ pub struct Solver {
     pub num_decisions: u64,
     /// Statistics: total literals propagated.
     pub num_propagations: u64,
+    /// Statistics: total restarts performed.
+    pub num_restarts: u64,
 }
 
 impl Solver {
@@ -99,6 +101,7 @@ impl Solver {
             num_conflicts: 0,
             num_decisions: 0,
             num_propagations: 0,
+            num_restarts: 0,
         }
     }
 
@@ -376,7 +379,30 @@ impl Solver {
     /// Solves under the given assumptions (literals forced true for this
     /// call only). The solver can be reused afterwards with different
     /// assumptions or additional clauses.
+    ///
+    /// Each call emits one `sat.solve` trace span plus per-call deltas of
+    /// the decision/propagation/conflict/restart statistics.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        let mut sp = seceda_trace::span("sat.solve");
+        sp.attr("vars", self.num_vars());
+        sp.attr("clauses", self.clauses.len());
+        sp.attr("assumptions", assumptions.len());
+        let (d0, p0, c0, r0) = (
+            self.num_decisions,
+            self.num_propagations,
+            self.num_conflicts,
+            self.num_restarts,
+        );
+        let result = self.solve_inner(assumptions);
+        seceda_trace::counter("sat.decisions", self.num_decisions - d0);
+        seceda_trace::counter("sat.propagations", self.num_propagations - p0);
+        seceda_trace::counter("sat.conflicts", self.num_conflicts - c0);
+        seceda_trace::counter("sat.restarts", self.num_restarts - r0);
+        sp.attr("result", if result.is_sat() { "sat" } else { "unsat" });
+        result
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SatResult {
         if self.unsat {
             return SatResult::Unsat;
         }
@@ -408,6 +434,7 @@ impl Solver {
                     conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                     if conflicts_until_restart == 0 {
                         restart_count += 1;
+                        self.num_restarts += 1;
                         conflicts_until_restart = 64 * luby(restart_count);
                         self.backtrack(0);
                     }

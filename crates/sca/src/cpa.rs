@@ -79,7 +79,7 @@ pub fn cpa_attack_with_model(
     let mut correlation = vec![0.0f64; 256];
     let mut column = vec![0.0f64; traces.len()];
     let mut hyp = vec![0.0f64; traces.len()];
-    for guess in 0..256usize {
+    for (guess, corr) in correlation.iter_mut().enumerate() {
         for (i, &pt) in plaintexts.iter().enumerate() {
             hyp[i] = model(pt, guess as u8);
         }
@@ -93,7 +93,7 @@ pub fn cpa_attack_with_model(
                 best = c;
             }
         }
-        correlation[guess] = best;
+        *corr = best;
     }
     let best_guess = correlation
         .iter()

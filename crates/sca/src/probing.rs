@@ -65,7 +65,7 @@ pub fn first_order_leaks(nl: &Netlist, model: &ProbingModel) -> Vec<NetId> {
     let mut ones: Vec<Vec<u64>> = vec![vec![0u64; num_nets]; num_secret_patterns];
 
     let mut inputs = vec![false; nl.inputs().len()];
-    for secret_pattern in 0..num_secret_patterns {
+    for (secret_pattern, pattern_ones) in ones.iter_mut().enumerate() {
         for enumeration in 0..enumerations {
             // decode free bits: per secret, two share bits; then randoms
             for s in 0..model.num_secrets {
@@ -83,7 +83,7 @@ pub fn first_order_leaks(nl: &Netlist, model: &ProbingModel) -> Vec<NetId> {
             }
             let values = nl.eval_nets(&inputs, &[]).expect("combinational eval");
             for (net, &v) in values.iter().enumerate() {
-                ones[secret_pattern][net] += v as u64;
+                pattern_ones[net] += v as u64;
             }
         }
     }
@@ -138,7 +138,7 @@ pub fn second_order_leaks(
     let mut counts: Vec<Vec<[u32; 4]>> = vec![vec![[0u32; 4]; pair_count]; num_secret_patterns];
 
     let mut inputs = vec![false; nl.inputs().len()];
-    for secret_pattern in 0..num_secret_patterns {
+    for (secret_pattern, table) in counts.iter_mut().enumerate() {
         for enumeration in 0..enumerations {
             for s in 0..model.num_secrets {
                 let secret = (secret_pattern >> s) & 1 == 1;
@@ -153,7 +153,6 @@ pub fn second_order_leaks(
                     (enumeration >> (2 * model.num_secrets + r)) & 1 == 1;
             }
             let values = nl.eval_nets(&inputs, &[]).expect("combinational eval");
-            let table = &mut counts[secret_pattern];
             for i in 0..num_nets {
                 let vi = values[i] as usize;
                 let row = i * num_nets;

@@ -149,6 +149,8 @@ impl<'a> EventSim<'a> {
             self.nl.is_combinational(),
             "EventSim::transition requires combinational logic"
         );
+        let mut sp = seceda_trace::span("sim.transition");
+        sp.attr("gates", self.nl.num_gates());
         let mut values = self.settle(from);
         let final_values = self.settle(to);
 
@@ -215,6 +217,9 @@ impl<'a> EventSim<'a> {
         }
 
         debug_assert_eq!(values, final_values, "event sim must settle to DC value");
+        seceda_trace::counter("sim.events_processed", events.len() as u64);
+        sp.attr("events", events.len());
+        sp.attr("settle_time", settle_time);
         let glitching_nets = toggles.iter().filter(|&&t| t > 1).count();
         // A functional transition needs at most 1 toggle per net; anything
         // beyond that is a glitch.

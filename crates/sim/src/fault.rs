@@ -150,6 +150,9 @@ impl<'a> FaultSim<'a> {
     /// Grades a pattern set against a fault list; returns, per fault,
     /// whether any pattern detects it, plus the overall coverage fraction.
     pub fn coverage(&self, patterns: &[Vec<bool>], faults: &[Fault]) -> (Vec<bool>, f64) {
+        let mut sp = seceda_trace::span("sim.fault_coverage");
+        sp.attr("patterns", patterns.len());
+        sp.attr("faults", faults.len());
         let good_outputs: Vec<Vec<bool>> = patterns
             .iter()
             .map(|p| self.outputs(&self.eval_with_faults(p, &[])))
@@ -163,11 +166,15 @@ impl<'a> FaultSim<'a> {
                 })
             })
             .collect();
+        let num_detected = detected.iter().filter(|&&d| d).count();
         let frac = if faults.is_empty() {
             1.0
         } else {
-            detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64
+            num_detected as f64 / faults.len() as f64
         };
+        seceda_trace::counter("sim.patterns_simulated", patterns.len() as u64);
+        seceda_trace::counter("sim.faults_detected", num_detected as u64);
+        sp.attr("coverage", frac);
         (detected, frac)
     }
 }

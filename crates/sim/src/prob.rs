@@ -24,6 +24,10 @@ pub fn signal_probabilities(
     seed: u64,
 ) -> Result<Vec<f64>, NetlistError> {
     assert!(num_rounds > 0, "need at least one round");
+    let mut sp = seceda_trace::span("sim.signal_probabilities");
+    sp.attr("gates", nl.num_gates());
+    sp.attr("rounds", num_rounds);
+    seceda_trace::counter("sim.patterns_simulated", (num_rounds * 64) as u64);
     let sim = PackedSim::new(nl)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ones = vec![0u64; nl.num_nets()];

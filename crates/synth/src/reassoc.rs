@@ -44,6 +44,9 @@ pub struct ReassocReport {
 ///
 /// Panics if the netlist is cyclic.
 pub fn reassociate(nl: &Netlist, mode: SynthesisMode) -> (Netlist, ReassocReport) {
+    let mut sp = seceda_trace::span("synth.reassociate");
+    sp.attr("gates", nl.num_gates());
+    sp.attr("security_aware", mode == SynthesisMode::SecurityAware);
     let mut work = nl.clone();
     let mut report = ReassocReport::default();
 
@@ -106,11 +109,9 @@ pub fn reassociate(nl: &Netlist, mode: SynthesisMode) -> (Netlist, ReassocReport
                 is_xor2(&work, net) && (is_root || fan_or(&fanout, net, usize::MAX) == 1);
             if expandable {
                 let gid = work.net(net).driver.expect("xor driver");
-                if work.gate(gid).tags.no_reassoc {
-                    if mode == SynthesisMode::SecurityAware {
-                        barrier_hit = true;
-                        break;
-                    }
+                if work.gate(gid).tags.no_reassoc && mode == SynthesisMode::SecurityAware {
+                    barrier_hit = true;
+                    break;
                 }
                 tree_gates.push(net);
                 let ins = work.gate(gid).inputs.clone();
@@ -206,6 +207,12 @@ pub fn reassociate(nl: &Netlist, mode: SynthesisMode) -> (Netlist, ReassocReport
     }
 
     let cleaned = sweep(&work, mode);
+    sp.attr("trees_rebuilt", report.trees_rebuilt);
+    sp.attr("trees_skipped", report.trees_skipped);
+    sp.attr("factorings", report.factorings);
+    seceda_trace::counter("synth.xor_trees_rebuilt", report.trees_rebuilt as u64);
+    seceda_trace::counter("synth.xor_trees_skipped", report.trees_skipped as u64);
+    seceda_trace::counter("synth.rewrites_applied", report.factorings as u64);
     (cleaned, report)
 }
 

@@ -147,7 +147,7 @@ pub fn fold_constants(nl: &Netlist, mode: SynthesisMode) -> Netlist {
                 let neutral = matches!(g.kind, CellKind::And | CellKind::Nand); // AND neutral = 1
                 let inverted = matches!(g.kind, CellKind::Nand | CellKind::Nor);
                 // absorbing element present?
-                let absorbing = vals.iter().any(|v| *v == Some(!neutral));
+                let absorbing = vals.contains(&Some(!neutral));
                 if absorbing {
                     let n = const_net(rb, konst, !neutral ^ inverted);
                     rb.alias(g.output, n);
@@ -358,9 +358,18 @@ pub fn sweep(nl: &Netlist, mode: SynthesisMode) -> Netlist {
 
 /// The standard cleanup pipeline: constant folding → CSE → sweep.
 pub fn optimize(nl: &Netlist, mode: SynthesisMode) -> Netlist {
+    let mut sp = seceda_trace::span("synth.optimize");
+    sp.attr("gates_before", nl.num_gates());
+    sp.attr("security_aware", mode == SynthesisMode::SecurityAware);
     let folded = fold_constants(nl, mode);
     let merged = dedup(&folded, mode);
-    sweep(&merged, mode)
+    let swept = sweep(&merged, mode);
+    sp.attr("gates_after", swept.num_gates());
+    seceda_trace::counter(
+        "synth.rewrites_applied",
+        (nl.num_gates().saturating_sub(swept.num_gates())) as u64,
+    );
+    swept
 }
 
 #[cfg(test)]

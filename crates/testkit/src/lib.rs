@@ -40,6 +40,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// the doctests deliberately show the `proptest!`-shaped syntax, whose
+// surface includes `#[test]` inside the macro invocation
+#![allow(clippy::test_attr_in_doctest)]
 
 pub mod bench;
 pub mod json;

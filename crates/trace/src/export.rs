@@ -1,0 +1,68 @@
+//! JSON-lines export of recorded events.
+//!
+//! One JSON object per line, parseable by `seceda_testkit::json` (and by
+//! any external JSONL consumer), so bench snapshots and CI logs can carry
+//! per-stage breakdowns without a schema dependency.
+
+use crate::recorder::{AttrValue, Event};
+use seceda_testkit::json::{Json, ToJson};
+
+impl ToJson for AttrValue {
+    fn to_json(&self) -> Json {
+        match self {
+            AttrValue::Int(i) => Json::Int(*i),
+            AttrValue::Float(f) => Json::Num(*f),
+            AttrValue::Str(s) => Json::Str(s.clone()),
+            AttrValue::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+impl ToJson for Event {
+    fn to_json(&self) -> Json {
+        match self {
+            Event::Span(s) => Json::obj()
+                .field("type", "span")
+                .field("id", s.id as i64)
+                .field(
+                    "parent",
+                    s.parent.map_or(Json::Null, |p| Json::Int(p as i64)),
+                )
+                .field("name", s.name.as_str())
+                .field("start_ns", s.start_ns as i64)
+                .field("end_ns", s.end_ns as i64)
+                .field(
+                    "attrs",
+                    Json::Obj(
+                        s.attrs
+                            .iter()
+                            .map(|(k, v)| ((*k).to_string(), v.to_json()))
+                            .collect(),
+                    ),
+                )
+                .build(),
+            Event::Counter(c) => Json::obj()
+                .field("type", "counter")
+                .field("name", c.name)
+                .field("delta", c.delta as i64)
+                .field("span", c.span.map_or(Json::Null, |s| Json::Int(s as i64)))
+                .build(),
+            Event::Gauge(g) => Json::obj()
+                .field("type", "gauge")
+                .field("name", g.name)
+                .field("value", g.value)
+                .field("span", g.span.map_or(Json::Null, |s| Json::Int(s as i64)))
+                .build(),
+        }
+    }
+}
+
+/// Serializes events as JSON lines (one compact object per line).
+pub fn to_json_lines(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json().render());
+        out.push('\n');
+    }
+    out
+}

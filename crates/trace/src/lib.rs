@@ -1,0 +1,49 @@
+//! # seceda-trace
+//!
+//! Zero-dependency structured tracing and flow telemetry for the
+//! `seceda` pipeline. The paper's secure-composition loop — re-evaluate
+//! **all** threats after **every** countermeasure — is an iterative,
+//! *measured* process; this crate makes each iteration observable:
+//!
+//! * [`span`] — RAII guards with name, key/value attributes, monotonic
+//!   start/stop timing, and per-thread parent nesting;
+//! * [`counter`] / [`gauge`] — accumulating counts (SAT decisions,
+//!   events simulated, patterns generated) and point-in-time values;
+//! * a process-wide, thread-safe recorder ([`drain`], [`session`]) that
+//!   collects events from every instrumented crate;
+//! * [`to_json_lines`] — JSON-lines export parseable by
+//!   `seceda_testkit::json`;
+//! * [`Summary`] — tree rendering with total and self time per span,
+//!   plus counter/gauge rollups.
+//!
+//! ## Overhead policy
+//!
+//! Tracing is off unless `SECEDA_TRACE=1` is set (or [`set_enabled`] is
+//! called). When off, every probe is a single relaxed atomic load —
+//! instrumented crates keep probes in hot paths unconditionally, and
+//! probe granularity is chosen per call (one span per SAT solve, not per
+//! propagation) so the enabled mode stays usable too.
+//!
+//! ```
+//! let ((), events) = seceda_trace::session(|| {
+//!     let mut sp = seceda_trace::span("demo.work");
+//!     sp.attr("items", 3usize);
+//!     seceda_trace::counter("demo.items_done", 3);
+//! });
+//! let summary = seceda_trace::Summary::of(&events);
+//! assert_eq!(summary.counters["demo.items_done"], 3);
+//! assert_eq!(summary.spans_named("demo.work").count(), 1);
+//! ```
+
+mod export;
+mod recorder;
+mod render;
+mod span;
+
+pub use export::to_json_lines;
+pub use recorder::{
+    counter, drain, enabled, gauge, session, set_enabled, AttrValue, CounterRecord, Event,
+    GaugeRecord, SpanRecord,
+};
+pub use render::{fmt_duration, Summary};
+pub use span::{span, Span};

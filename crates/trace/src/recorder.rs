@@ -1,0 +1,251 @@
+//! The process-wide recorder: event model, enable gate, and collection.
+//!
+//! All instrumentation funnels into a single global recorder guarded by a
+//! mutex. The hot-path cost when tracing is disabled is one relaxed
+//! atomic load (see [`enabled`]); instrumented crates therefore leave
+//! their probes in unconditionally. Spans nest per thread via a
+//! thread-local stack, so a span opened on a worker thread starts a new
+//! root rather than attaching to an unrelated parent.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// An attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Integer attribute (counts, sizes).
+    Int(i64),
+    /// Floating-point attribute (areas, delays).
+    Float(f64),
+    /// String attribute (stage names, verdicts).
+    Str(String),
+    /// Boolean attribute.
+    Bool(bool),
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(v.into())
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// A completed span: a named, timed, attributed region of work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (dotted convention, e.g. `sat.solve`).
+    pub name: String,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// End time in nanoseconds since the process trace epoch.
+    pub end_ns: u64,
+    /// Key/value attributes, in insertion order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Wall time of the span in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// A monotonically accumulating count (e.g. SAT decisions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterRecord {
+    /// Counter name (dotted convention, e.g. `sat.decisions`).
+    pub name: &'static str,
+    /// Amount added by this record.
+    pub delta: u64,
+    /// Span open on the recording thread at the time, if any.
+    pub span: Option<u64>,
+}
+
+/// A point-in-time measurement (e.g. current gate count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeRecord {
+    /// Gauge name.
+    pub name: &'static str,
+    /// Observed value.
+    pub value: f64,
+    /// Span open on the recording thread at the time, if any.
+    pub span: Option<u64>,
+}
+
+/// One recorded telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A completed span.
+    Span(SpanRecord),
+    /// A counter increment.
+    Counter(CounterRecord),
+    /// A gauge observation.
+    Gauge(GaugeRecord),
+}
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static SESSION: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn lock_events() -> MutexGuard<'static, Vec<Event>> {
+    // a panic inside an instrumented region must not disable telemetry
+    EVENTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether tracing is currently on.
+///
+/// First call reads the `SECEDA_TRACE` environment variable (`0`, empty,
+/// or unset mean off; anything else means on); later calls are a single
+/// relaxed atomic load. [`set_enabled`] overrides the environment.
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => {
+            let on = std::env::var_os("SECEDA_TRACE")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false);
+            STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Turns tracing on or off programmatically (overrides `SECEDA_TRACE`).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+pub(crate) fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+pub(crate) fn next_span_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+pub(crate) fn current_span() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+pub(crate) fn push_span(id: u64) {
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+}
+
+pub(crate) fn pop_span(id: u64) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        // spans are RAII guards, so `id` is normally the top; tolerate
+        // out-of-order drops from explicit `drop()` calls
+        if let Some(pos) = stack.iter().rposition(|&x| x == id) {
+            stack.remove(pos);
+        }
+    });
+}
+
+pub(crate) fn record(event: Event) {
+    lock_events().push(event);
+}
+
+/// Adds `delta` to the named counter. No-op when tracing is off.
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    record(Event::Counter(CounterRecord {
+        name,
+        delta,
+        span: current_span(),
+    }));
+}
+
+/// Records a point-in-time observation. No-op when tracing is off.
+pub fn gauge(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    record(Event::Gauge(GaugeRecord {
+        name,
+        value,
+        span: current_span(),
+    }));
+}
+
+/// Removes and returns every event recorded so far, in recording order.
+pub fn drain() -> Vec<Event> {
+    std::mem::take(&mut *lock_events())
+}
+
+/// Runs `f` with tracing enabled and returns its result together with
+/// the events it recorded.
+///
+/// Sessions serialize on a process-wide lock, so concurrently running
+/// tests using `session` cannot leak events into each other. Events
+/// recorded before the session (e.g. by code running with
+/// `SECEDA_TRACE=1`) are drained and discarded; the prior enabled state
+/// is restored afterwards.
+pub fn session<T>(f: impl FnOnce() -> T) -> (T, Vec<Event>) {
+    let _guard = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    let was_enabled = enabled();
+    set_enabled(true);
+    drop(drain());
+    let result = f();
+    let events = drain();
+    set_enabled(was_enabled);
+    (result, events)
+}

@@ -1,0 +1,149 @@
+//! Human-readable rendering: span tree with total/self time, counter
+//! rollups, and gauge snapshots.
+
+use crate::recorder::{AttrValue, Event, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated view of a drained event list.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Completed spans in recording order.
+    pub spans: Vec<SpanRecord>,
+    /// Total per counter name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last observed value per gauge name.
+    pub gauges: BTreeMap<&'static str, f64>,
+}
+
+impl Summary {
+    /// Aggregates a drained event list.
+    pub fn of(events: &[Event]) -> Self {
+        let mut summary = Summary::default();
+        for ev in events {
+            match ev {
+                Event::Span(s) => summary.spans.push(s.clone()),
+                Event::Counter(c) => *summary.counters.entry(c.name).or_insert(0) += c.delta,
+                Event::Gauge(g) => {
+                    summary.gauges.insert(g.name, g.value);
+                }
+            }
+        }
+        summary
+    }
+
+    /// Spans with the given name.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Self time of a span: its duration minus the durations of its
+    /// direct children.
+    pub fn self_time_ns(&self, span: &SpanRecord) -> u64 {
+        let children: u64 = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(span.id))
+            .map(SpanRecord::duration_ns)
+            .sum();
+        span.duration_ns().saturating_sub(children)
+    }
+
+    /// Renders the span tree plus counter/gauge rollups.
+    pub fn render(&self) -> String {
+        self.render_depth(usize::MAX)
+    }
+
+    /// Like [`Summary::render`], but prunes the span tree below
+    /// `max_depth` levels (roots are depth 0); elided subtrees are
+    /// replaced by a one-line count. Counters and gauges are always
+    /// rolled up in full.
+    pub fn render_depth(&self, max_depth: usize) -> String {
+        let mut out = String::new();
+        let roots: Vec<&SpanRecord> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent.is_none() || !self.spans.iter().any(|p| Some(p.id) == s.parent))
+            .collect();
+        let mut ordered = roots;
+        ordered.sort_by_key(|s| s.start_ns);
+        for root in ordered {
+            self.render_span(root, 0, max_depth, &mut out);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, total) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {total}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let width = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<width$}  {value}");
+            }
+        }
+        out
+    }
+
+    fn render_span(&self, span: &SpanRecord, depth: usize, max_depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let _ = write!(
+            out,
+            "{indent}{}  total {}, self {}",
+            span.name,
+            fmt_duration(span.duration_ns()),
+            fmt_duration(self.self_time_ns(span)),
+        );
+        if !span.attrs.is_empty() {
+            out.push_str("  [");
+            for (i, (k, v)) in span.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{k}={}", fmt_attr(v));
+            }
+            out.push(']');
+        }
+        out.push('\n');
+        let mut children: Vec<&SpanRecord> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(span.id))
+            .collect();
+        if children.is_empty() {
+            return;
+        }
+        if depth >= max_depth {
+            let _ = writeln!(out, "{indent}  … {} child span(s) elided", children.len());
+            return;
+        }
+        children.sort_by_key(|s| s.start_ns);
+        for child in children {
+            self.render_span(child, depth + 1, max_depth, out);
+        }
+    }
+}
+
+fn fmt_attr(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Float(f) => format!("{f:.3}"),
+        AttrValue::Str(s) => format!("{s:?}"),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// Formats a nanosecond duration with a human-friendly unit.
+pub fn fmt_duration(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}

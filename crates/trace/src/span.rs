@@ -1,0 +1,89 @@
+//! RAII span guards.
+
+use crate::recorder::{self, AttrValue, Event, SpanRecord};
+
+/// An open span. Created by [`span`]; records itself on drop.
+///
+/// When tracing is disabled the guard is empty and every method is a
+/// no-op, so instrumentation can stay in hot paths unconditionally.
+#[derive(Debug)]
+pub struct Span {
+    data: Option<Box<SpanData>>,
+}
+
+#[derive(Debug)]
+struct SpanData {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_ns: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// Opens a span. The returned guard records the span when dropped.
+///
+/// ```
+/// let mut root = seceda_trace::span("flow.stage");
+/// root.attr("stage", "logic synthesis");
+/// // ... timed work ...
+/// drop(root);
+/// ```
+pub fn span(name: impl Into<String>) -> Span {
+    if !recorder::enabled() {
+        return Span { data: None };
+    }
+    let id = recorder::next_span_id();
+    let parent = recorder::current_span();
+    recorder::push_span(id);
+    Span {
+        data: Some(Box::new(SpanData {
+            id,
+            parent,
+            name: name.into(),
+            start_ns: recorder::now_ns(),
+            attrs: Vec::new(),
+        })),
+    }
+}
+
+impl Span {
+    /// Attaches a key/value attribute. No-op when the span is disabled.
+    pub fn attr<V: Into<AttrValue>>(&mut self, key: &'static str, value: V) {
+        if let Some(data) = &mut self.data {
+            data.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Builder-style [`Span::attr`].
+    #[must_use]
+    pub fn with<V: Into<AttrValue>>(mut self, key: &'static str, value: V) -> Self {
+        self.attr(key, value);
+        self
+    }
+
+    /// The span id, if recording.
+    pub fn id(&self) -> Option<u64> {
+        self.data.as_ref().map(|d| d.id)
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.data.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(data) = self.data.take() {
+            recorder::pop_span(data.id);
+            recorder::record(Event::Span(SpanRecord {
+                id: data.id,
+                parent: data.parent,
+                name: data.name,
+                start_ns: data.start_ns,
+                end_ns: recorder::now_ns(),
+                attrs: data.attrs,
+            }));
+        }
+    }
+}

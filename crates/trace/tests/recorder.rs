@@ -1,0 +1,179 @@
+//! Tracer behaviour tests: nesting, self-time, rollups, thread safety,
+//! disabled mode, and JSON-lines round-tripping.
+//!
+//! Every test runs inside [`seceda_trace::session`], which serializes on
+//! a process-wide lock — parallel test threads cannot leak events into
+//! each other's captures.
+
+use seceda_testkit::json::Json;
+use seceda_trace::{counter, drain, gauge, session, set_enabled, span, Event, Summary};
+use std::time::Duration;
+
+#[test]
+fn spans_nest_and_account_self_time() {
+    let ((), events) = session(|| {
+        let mut root = span("outer");
+        root.attr("label", "root");
+        {
+            let _child = span("inner");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        {
+            let _child = span("inner");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+    let summary = Summary::of(&events);
+    let outer = summary.spans_named("outer").next().expect("outer span");
+    let inners: Vec<_> = summary.spans_named("inner").collect();
+    assert_eq!(inners.len(), 2);
+    for inner in &inners {
+        assert_eq!(inner.parent, Some(outer.id), "inner nests under outer");
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns <= outer.end_ns);
+    }
+    let children_total: u64 = inners.iter().map(|s| s.duration_ns()).sum();
+    assert_eq!(
+        summary.self_time_ns(outer),
+        outer.duration_ns() - children_total,
+        "self time is total minus direct children"
+    );
+    assert!(
+        summary.self_time_ns(outer) < outer.duration_ns(),
+        "sleeping children must shrink the parent's self time"
+    );
+    // the rendered tree shows the hierarchy and the attribute
+    let tree = summary.render();
+    assert!(tree.contains("outer"));
+    assert!(tree.contains("  inner"));
+    assert!(tree.contains("label=\"root\""));
+}
+
+#[test]
+fn counters_and_gauges_roll_up() {
+    let ((), events) = session(|| {
+        counter("work.items", 3);
+        counter("work.items", 4);
+        counter("other.items", 1);
+        gauge("depth", 2.0);
+        gauge("depth", 5.0);
+    });
+    let summary = Summary::of(&events);
+    assert_eq!(summary.counters["work.items"], 7);
+    assert_eq!(summary.counters["other.items"], 1);
+    assert_eq!(summary.gauges["depth"], 5.0, "gauges keep the last value");
+    let rendered = summary.render();
+    assert!(rendered.contains("work.items"));
+    assert!(rendered.contains('7'));
+}
+
+#[test]
+fn recorder_is_thread_safe_under_fanout() {
+    const THREADS: usize = 8;
+    const OPS: usize = 50;
+    let ((), events) = session(|| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..OPS {
+                        let mut sp = span("mt.op");
+                        sp.attr("thread_local", true);
+                        counter("mt.ops", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+    });
+    let summary = Summary::of(&events);
+    assert_eq!(summary.counters["mt.ops"], (THREADS * OPS) as u64);
+    assert_eq!(summary.spans_named("mt.op").count(), THREADS * OPS);
+    // span nesting is per thread: worker spans are roots, not children
+    // of whatever happened to be open elsewhere
+    assert!(summary.spans_named("mt.op").all(|s| s.parent.is_none()));
+}
+
+#[test]
+fn disabled_mode_records_nothing() {
+    let (observed, events) = session(|| {
+        set_enabled(false);
+        let mut sp = span("off.work");
+        assert!(!sp.is_recording());
+        assert!(sp.id().is_none());
+        sp.attr("ignored", 1usize);
+        counter("off.count", 5);
+        gauge("off.gauge", 1.0);
+        drop(sp);
+        let leaked = drain();
+        set_enabled(true);
+        leaked
+    });
+    assert!(observed.is_empty(), "disabled probes must record nothing");
+    assert!(events.is_empty());
+}
+
+#[test]
+fn json_lines_round_trip_through_testkit() {
+    let ((), events) = session(|| {
+        let mut root = span("export.root");
+        root.attr("gates", 6usize);
+        root.attr("area", 9.5);
+        root.attr("stage", "logic synthesis");
+        root.attr("ok", true);
+        counter("export.count", 11);
+        gauge("export.gauge", 0.25);
+    });
+    let lines = seceda_trace::to_json_lines(&events);
+    let parsed: Vec<Json> = lines
+        .lines()
+        .map(|l| Json::parse(l).expect("every line is valid JSON"))
+        .collect();
+    assert_eq!(parsed.len(), events.len());
+    let span_line = parsed
+        .iter()
+        .find(|j| j.get("type") == Some(&Json::Str("span".into())))
+        .expect("span line");
+    assert_eq!(
+        span_line.get("name"),
+        Some(&Json::Str("export.root".into()))
+    );
+    let attrs = span_line.get("attrs").expect("attrs object");
+    assert_eq!(attrs.get("gates"), Some(&Json::Int(6)));
+    assert_eq!(attrs.get("area"), Some(&Json::Num(9.5)));
+    assert_eq!(attrs.get("ok"), Some(&Json::Bool(true)));
+    let counter_line = parsed
+        .iter()
+        .find(|j| j.get("type") == Some(&Json::Str("counter".into())))
+        .expect("counter line");
+    assert_eq!(counter_line.get("delta"), Some(&Json::Int(11)));
+    let gauge_line = parsed
+        .iter()
+        .find(|j| j.get("type") == Some(&Json::Str("gauge".into())))
+        .expect("gauge line");
+    assert_eq!(gauge_line.get("value"), Some(&Json::Num(0.25)));
+}
+
+#[test]
+fn counters_attach_to_the_open_span() {
+    let ((), events) = session(|| {
+        let _sp = span("ctx");
+        counter("ctx.count", 1);
+    });
+    let span_id = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Span(s) => Some(s.id),
+            _ => None,
+        })
+        .expect("span recorded");
+    let counter_span = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Counter(c) => Some(c.span),
+            _ => None,
+        })
+        .expect("counter recorded");
+    assert_eq!(counter_span, Some(span_id));
+}

@@ -38,7 +38,7 @@ impl Default for TrojanConfig {
             rare_threshold: 0.2,
             payload: PayloadKind::Corrupt,
             prob_rounds: 64,
-            seed: 0x7120_1A4,
+            seed: 0x0712_01A4,
         }
     }
 }

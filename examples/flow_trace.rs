@@ -1,0 +1,67 @@
+//! Flow telemetry: run both EDA flows under the structured tracer and
+//! inspect where the time and the solver effort go.
+//!
+//! ```sh
+//! SECEDA_TRACE=1 cargo run --example flow-trace
+//! ```
+//!
+//! The example force-enables the recorder so plain `cargo run` shows the
+//! same output; in library use, tracing stays off unless `SECEDA_TRACE=1`
+//! is set, and costs a single atomic load per probe when off.
+
+use seceda_core::{run_classical_flow, run_secure_flow};
+use seceda_netlist::{c17, Netlist, Word};
+use seceda_trace::{drain, set_enabled, to_json_lines, Event, Summary};
+
+/// A masked slice of the AES S-box: the first 8 table entries (3 address
+/// bits, all 8 output bits), protected with 3-share ISW masking. The full
+/// 8-bit S-box masks to ~26k gates, which a debug-build demo cannot push
+/// through SAT equivalence in reasonable time; the slice keeps every
+/// stage — including equivalence on masked logic — within seconds.
+fn masked_sbox_slice() -> Netlist {
+    let mut nl = Netlist::new("aes_sbox_slice");
+    let x = Word::input(&mut nl, "x", 3);
+    let table: Vec<u64> = seceda_cipher::AES_SBOX[..8]
+        .iter()
+        .map(|&v| v as u64)
+        .collect();
+    let y = seceda_cipher::table_lookup(&mut nl, &x, &table, 8);
+    y.mark_output(&mut nl, "y");
+    seceda_sca::mask_netlist(&nl).netlist
+}
+
+/// Runs both flows over `nl` and returns the recorded events.
+fn trace_both_flows(nl: &Netlist) -> Result<Vec<Event>, Box<dyn std::error::Error>> {
+    drain(); // discard anything a previous run left behind
+    run_classical_flow(nl)?;
+    run_secure_flow(nl)?;
+    Ok(drain())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    set_enabled(true);
+
+    // 1. c17 — small enough to print the span tree in full depth.
+    let c17_events = trace_both_flows(&c17())?;
+    println!("=== c17: classical + secure flow, full span tree ===");
+    print!("{}", Summary::of(&c17_events).render());
+
+    // 2. A masked AES S-box slice — here ATPG and equivalence emit
+    //    hundreds of SAT spans, so prune the tree below the per-stage
+    //    work spans and let the counter rollup carry the totals.
+    let sbox = masked_sbox_slice();
+    println!(
+        "\n=== {} ({} gates masked): classical + secure flow ===",
+        sbox.name(),
+        sbox.num_gates()
+    );
+    let sbox_events = trace_both_flows(&sbox)?;
+    print!("{}", Summary::of(&sbox_events).render_depth(2));
+
+    // 3. The same events as machine-readable JSON-lines (c17 run shown;
+    //    `seceda-bench`'s trace_snapshot bin emits this format for the
+    //    snapshot pipeline).
+    println!("\n=== c17 run as JSON-lines ===");
+    print!("{}", to_json_lines(&c17_events));
+    Ok(())
+}

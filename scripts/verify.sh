@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo clippy --workspace --offline -- -D warnings"
+cargo clippy --workspace --offline -- -D warnings
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
@@ -18,5 +21,8 @@ cargo build --benches --offline
 
 echo "==> cargo test -q --offline"
 cargo test -q --offline
+
+echo "==> flow-trace example smoke run (release)"
+SECEDA_TRACE=1 cargo run --release --offline --example flow-trace > /dev/null
 
 echo "==> verify OK"
