@@ -1,0 +1,33 @@
+//! Validates that a file parses as JSON.
+//!
+//! Used by `scripts/verify.sh` to check the bench report files (e.g.
+//! `target/BENCH_fault_sim.json`) are well-formed without any external
+//! tooling (`jq`, `python`): the parser is the workspace's own
+//! `seceda_testkit::json`.
+
+use seceda_testkit::json::Json;
+
+fn main() {
+    let mut status = 0;
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: check_json <file>...");
+        std::process::exit(2);
+    }
+    for path in paths {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(_) => println!("{path}: valid JSON"),
+                Err(e) => {
+                    eprintln!("{path}: invalid JSON: {e}");
+                    status = 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                status = 1;
+            }
+        }
+    }
+    std::process::exit(status);
+}

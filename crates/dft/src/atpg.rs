@@ -7,7 +7,7 @@
 
 use seceda_netlist::{Netlist, NetlistError};
 use seceda_sat::{encode_netlist, Cnf, SatResult, Solver};
-use seceda_sim::{fault::stuck_at_universe, Fault, FaultKind, FaultSim};
+use seceda_sim::{fault::stuck_at_universe, Fault, FaultKind, PackedFaultSim};
 use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Result of a test-generation run.
@@ -90,13 +90,21 @@ pub fn generate_tests(
     sp.attr("gates", nl.num_gates());
     sp.attr("random_patterns", random_patterns);
     let faults = stuck_at_universe(nl);
-    let sim = FaultSim::new(nl)?;
+    let sim = PackedFaultSim::new(nl)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let num_inputs = nl.inputs().len();
     let mut patterns: Vec<Vec<bool>> = (0..random_patterns)
         .map(|_| (0..num_inputs).map(|_| rng.gen()).collect())
         .collect();
-    let (detected, _) = sim.coverage(&patterns, &faults);
+    // incremental grading: the random bootstrap drops the easy faults,
+    // then each SAT pattern is graded (packed) against only the faults
+    // still undetected at that moment — a SAT pattern generated for one
+    // fault frequently detects several others, saving their SAT queries,
+    // and the full end-of-run re-grade disappears entirely (the final
+    // `detected` vector is identical to a from-scratch grade of all
+    // patterns against all faults, since detection is monotone).
+    let mut detected = vec![false; faults.len()];
+    sim.grade(&patterns, &faults, &mut detected);
     let mut untestable = Vec::new();
     let mut sat_queries = 0u64;
     for (k, &f) in faults.iter().enumerate() {
@@ -105,14 +113,15 @@ pub fn generate_tests(
         }
         sat_queries += 1;
         match generate_test_for(nl, f)? {
-            Some(pattern) => patterns.push(pattern),
+            Some(pattern) => {
+                sim.grade(std::slice::from_ref(&pattern), &faults, &mut detected);
+                patterns.push(pattern);
+            }
             None => untestable.push(f),
         }
     }
-    // final grade
-    let (final_detected, _) = sim.coverage(&patterns, &faults);
     let testable = faults.len() - untestable.len();
-    let covered = final_detected.iter().filter(|&&d| d).count();
+    let covered = detected.iter().filter(|&&d| d).count();
     let coverage = if testable == 0 {
         1.0
     } else {
@@ -173,7 +182,7 @@ mod tests {
     fn sat_patterns_actually_detect_their_faults() {
         let nl = c17();
         let faults = stuck_at_universe(&nl);
-        let sim = FaultSim::new(&nl).expect("sim");
+        let sim = seceda_sim::FaultSim::new(&nl).expect("sim");
         for &f in &faults {
             if let Some(pattern) = generate_test_for(&nl, f).expect("query") {
                 assert!(sim.detects(&pattern, f), "SAT pattern must detect {f:?}");

@@ -1,7 +1,7 @@
 //! Logic built-in self test: LFSR stimulus, MISR compaction.
 
 use seceda_netlist::{Netlist, NetlistError};
-use seceda_sim::{Fault, FaultSim};
+use seceda_sim::{pack_patterns, Fault, PackedFaultSim};
 
 /// A Fibonacci LFSR over up to 64 bits with a fixed maximal-ish tap set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +132,11 @@ pub struct BistResult {
 /// Runs BIST on a combinational netlist with optional injected faults
 /// (empty slice = golden run).
 ///
+/// LFSR patterns are applied in 64-pattern packed batches (the faulty
+/// responses of all 64 come from one bit-parallel pass), then unpacked
+/// and absorbed by the MISR in LFSR order — the signature is
+/// bit-identical to the per-pattern scalar run.
+///
 /// # Errors
 ///
 /// Propagates simulator errors.
@@ -140,14 +145,25 @@ pub fn run_bist(
     config: &BistConfig,
     faults: &[Fault],
 ) -> Result<BistResult, NetlistError> {
-    let sim = FaultSim::new(nl)?;
+    let sim = PackedFaultSim::new(nl)?;
     let mut lfsr = Lfsr::new(config.seed, 16);
     let mut misr = Misr::new(config.misr_width);
     let n = nl.inputs().len();
-    for _ in 0..config.patterns {
-        let pattern = lfsr.pattern(n);
-        let response = sim.outputs(&sim.eval_with_faults(&pattern, faults));
-        misr.absorb(&response);
+    let num_outputs = nl.outputs().len();
+    let mut response = vec![false; num_outputs];
+    let mut remaining = config.patterns;
+    while remaining > 0 {
+        let batch = remaining.min(64);
+        let patterns: Vec<Vec<bool>> = (0..batch).map(|_| lfsr.pattern(n)).collect();
+        let words = pack_patterns(&patterns, n);
+        let outs = sim.eval_outputs_with_faults(&words, faults);
+        for p in 0..batch {
+            for (o, &word) in outs.iter().enumerate() {
+                response[o] = (word >> p) & 1 == 1;
+            }
+            misr.absorb(&response);
+        }
+        remaining -= batch;
     }
     Ok(BistResult {
         signature: misr.signature(),
@@ -204,6 +220,29 @@ mod tests {
             "BIST detected only {detected}/{}",
             faults.len()
         );
+    }
+
+    #[test]
+    fn packed_bist_signature_matches_scalar_per_pattern_run() {
+        use seceda_sim::FaultSim;
+        let nl = c17();
+        let config = BistConfig {
+            patterns: 100, // deliberately not a multiple of 64
+            ..BistConfig::default()
+        };
+        let faults = stuck_at_universe(&nl);
+        let scalar = FaultSim::new(&nl).expect("sim");
+        for fault_list in [&[][..], &faults[..2]] {
+            let packed_sig = run_bist(&nl, &config, fault_list).expect("bist").signature;
+            let mut lfsr = Lfsr::new(config.seed, 16);
+            let mut misr = Misr::new(config.misr_width);
+            for _ in 0..config.patterns {
+                let pattern = lfsr.pattern(nl.inputs().len());
+                let response = scalar.outputs(&scalar.eval_with_faults(&pattern, fault_list));
+                misr.absorb(&response);
+            }
+            assert_eq!(packed_sig, misr.signature());
+        }
     }
 
     #[test]

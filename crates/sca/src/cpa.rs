@@ -66,35 +66,70 @@ pub fn cpa_attack(traces: &[Vec<f64>], plaintexts: &[u8]) -> CpaResult {
 /// transitions from `SBOX[guess]` to `SBOX[pt ^ guess]`, leaking
 /// `HD(SBOX[guess], SBOX[pt ^ guess])`.
 ///
+/// The trace matrix is transposed once and each sample column is
+/// centered with its variance precomputed, so the 256-guess loop is a
+/// single pass per (guess, sample) pair instead of re-copying the
+/// column and re-deriving both means inside every Pearson call; the
+/// guesses then fan out across cores.
+///
 /// # Panics
 ///
 /// Panics if `traces` and `plaintexts` differ in length.
 pub fn cpa_attack_with_model(
     traces: &[Vec<f64>],
     plaintexts: &[u8],
-    model: impl Fn(u8, u8) -> f64,
+    model: impl Fn(u8, u8) -> f64 + Sync,
 ) -> CpaResult {
     assert_eq!(traces.len(), plaintexts.len(), "trace/plaintext mismatch");
+    let n = traces.len();
     let num_samples = traces.first().map(|t| t.len()).unwrap_or(0);
-    let mut correlation = vec![0.0f64; 256];
-    let mut column = vec![0.0f64; traces.len()];
-    let mut hyp = vec![0.0f64; traces.len()];
-    for (guess, corr) in correlation.iter_mut().enumerate() {
-        for (i, &pt) in plaintexts.iter().enumerate() {
-            hyp[i] = model(pt, guess as u8);
+    if n < 2 || num_samples == 0 {
+        // degenerate input: every Pearson correlation is defined as 0
+        return CpaResult {
+            correlation: vec![0.0; 256],
+            best_guess: 0,
+        };
+    }
+    // transpose to sample-major, center each column, precompute sum of
+    // squared deviations (the per-sample half of Pearson's denominator)
+    let mut columns = vec![vec![0.0f64; n]; num_samples];
+    for (i, t) in traces.iter().enumerate() {
+        for (s, column) in columns.iter_mut().enumerate() {
+            column[i] = t[s];
+        }
+    }
+    let mut col_sq = vec![0.0f64; num_samples];
+    for (column, sq) in columns.iter_mut().zip(&mut col_sq) {
+        let mean = column.iter().sum::<f64>() / n as f64;
+        for v in column.iter_mut() {
+            *v -= mean;
+        }
+        *sq = column.iter().map(|v| v * v).sum();
+    }
+    let guesses: Vec<u8> = (0..=255u8).collect();
+    let correlation = seceda_testkit::par::par_map(&guesses, |_, &guess| {
+        let mut hyp: Vec<f64> = plaintexts.iter().map(|&pt| model(pt, guess)).collect();
+        let mean = hyp.iter().sum::<f64>() / n as f64;
+        for v in hyp.iter_mut() {
+            *v -= mean;
+        }
+        let hyp_sq: f64 = hyp.iter().map(|v| v * v).sum();
+        if hyp_sq == 0.0 {
+            return 0.0;
         }
         let mut best = 0.0f64;
-        for s in 0..num_samples {
-            for (i, t) in traces.iter().enumerate() {
-                column[i] = t[s];
+        for (column, &sq) in columns.iter().zip(&col_sq) {
+            if sq == 0.0 {
+                continue;
             }
-            let c = pearson(&hyp, &column).abs();
+            let cov: f64 = hyp.iter().zip(column).map(|(h, c)| h * c).sum();
+            let c = (cov / (hyp_sq.sqrt() * sq.sqrt())).abs();
             if c > best {
                 best = c;
             }
         }
-        *corr = best;
-    }
+        best
+    });
     let best_guess = correlation
         .iter()
         .enumerate()
@@ -150,6 +185,51 @@ mod tests {
         let (traces, pts) = synthetic_traces(0xA7, 2000, 4.0, 12);
         let result = cpa_attack(&traces, &pts);
         assert_eq!(result.best_guess, 0xA7);
+    }
+
+    #[test]
+    fn single_pass_correlations_match_naive_pearson() {
+        // multi-sample traces: sample 1 leaks, samples 0 and 2 are noise
+        let mut rng = StdRng::seed_from_u64(21);
+        let key = 0x5A;
+        let mut traces = Vec::new();
+        let mut pts = Vec::new();
+        for _ in 0..150 {
+            let pt: u8 = rng.gen();
+            let hw = AES_SBOX[(pt ^ key) as usize].count_ones() as f64;
+            traces.push(vec![rng.gen_range(0.0..8.0), hw, rng.gen_range(0.0..8.0)]);
+            pts.push(pt);
+        }
+        let result = cpa_attack(&traces, &pts);
+        let mut column = vec![0.0f64; traces.len()];
+        for guess in 0..=255u8 {
+            let hyp: Vec<f64> = pts
+                .iter()
+                .map(|&pt| AES_SBOX[(pt ^ guess) as usize].count_ones() as f64)
+                .collect();
+            let mut naive = 0.0f64;
+            for s in 0..3 {
+                for (i, t) in traces.iter().enumerate() {
+                    column[i] = t[s];
+                }
+                naive = naive.max(pearson(&hyp, &column).abs());
+            }
+            let fast = result.correlation[guess as usize];
+            assert!(
+                (fast - naive).abs() < 1e-9,
+                "guess {guess}: fast {fast} vs naive {naive}"
+            );
+        }
+        assert_eq!(result.best_guess, key);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_zero_correlations() {
+        let empty = cpa_attack(&[], &[]);
+        assert_eq!(empty.best_guess, 0);
+        assert!(empty.correlation.iter().all(|&c| c == 0.0));
+        let one = cpa_attack(&[vec![1.0]], &[0x42]);
+        assert!(one.correlation.iter().all(|&c| c == 0.0));
     }
 
     #[test]

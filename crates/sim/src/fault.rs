@@ -4,7 +4,13 @@
 //! ATPG patterns, Sec. III-F of the paper) and *fault-injection attacks*
 //! (transient bit flips from laser/EM/glitch campaigns, Sec. II-A.2).
 
+use crate::packed_fault::PackedFaultSim;
 use seceda_netlist::{NetId, Netlist, NetlistError};
+use std::sync::{Arc, Mutex};
+
+/// Cached good-circuit packed values of one pattern (see
+/// [`FaultSim::detects`]).
+type GoodCache = Mutex<Option<(Vec<bool>, Arc<Vec<u64>>)>>;
 
 /// The kind of a fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,12 +66,17 @@ impl Fault {
 /// Enumerates the collapsed single-stuck-at fault universe of a netlist:
 /// both polarities at every net (primary inputs and gate outputs).
 pub fn stuck_at_universe(nl: &Netlist) -> Vec<Fault> {
+    // precomputed PI membership: the per-net `inputs().contains(..)` scan
+    // was O(PIs) per net, quadratic on input-heavy designs
+    let mut is_pi = vec![false; nl.num_nets()];
+    for &pi in nl.inputs() {
+        is_pi[pi.index()] = true;
+    }
     let mut faults = Vec::with_capacity(nl.num_nets() * 2);
-    for idx in 0..nl.num_nets() {
+    for (idx, &pi) in is_pi.iter().enumerate() {
         let net = NetId::from_index(idx);
         // only consider observable nets: driven nets and primary inputs
-        let is_pi = nl.inputs().contains(&net);
-        if nl.net(net).driver.is_some() || is_pi {
+        if nl.net(net).driver.is_some() || pi {
             faults.push(Fault::stuck_at(net, false));
             faults.push(Fault::stuck_at(net, true));
         }
@@ -74,10 +85,33 @@ pub fn stuck_at_universe(nl: &Netlist) -> Vec<Fault> {
 }
 
 /// Combinational fault simulator.
-#[derive(Debug, Clone)]
+///
+/// Scalar fault injection ([`FaultSim::eval_with_faults`]) stays
+/// available for transient multi-fault campaigns; the grading entry
+/// points ([`FaultSim::detects`], [`FaultSim::coverage`]) delegate to
+/// the bit-parallel, fault-dropping [`PackedFaultSim`] engine and are
+/// bit-identical to the retained scalar reference
+/// ([`FaultSim::coverage_scalar`]).
+#[derive(Debug)]
 pub struct FaultSim<'a> {
     nl: &'a Netlist,
     order: Vec<seceda_netlist::GateId>,
+    engine: PackedFaultSim<'a>,
+    /// Packed good values of the most recent [`FaultSim::detects`]
+    /// pattern: a detect-loop over a fault list simulates the good
+    /// circuit once instead of once per fault.
+    good_cache: GoodCache,
+}
+
+impl Clone for FaultSim<'_> {
+    fn clone(&self) -> Self {
+        FaultSim {
+            nl: self.nl,
+            order: self.order.clone(),
+            engine: self.engine.clone(),
+            good_cache: Mutex::new(None),
+        }
+    }
 }
 
 impl<'a> FaultSim<'a> {
@@ -89,8 +123,15 @@ impl<'a> FaultSim<'a> {
     pub fn new(nl: &'a Netlist) -> Result<Self, NetlistError> {
         Ok(FaultSim {
             order: nl.topo_order()?,
+            engine: PackedFaultSim::new(nl)?,
+            good_cache: Mutex::new(None),
             nl,
         })
+    }
+
+    /// The packed grading engine backing this simulator.
+    pub fn engine(&self) -> &PackedFaultSim<'a> {
+        &self.engine
     }
 
     /// Evaluates all nets under `inputs` with `faults` active.
@@ -141,7 +182,29 @@ impl<'a> FaultSim<'a> {
 
     /// Returns `true` if `pattern` *detects* `fault`: the faulty outputs
     /// differ from the good outputs.
+    ///
+    /// The good circuit's packed values are cached per pattern, so a
+    /// loop over a fault list with a fixed pattern simulates the good
+    /// circuit once; the faulty side re-evaluates only the fault's
+    /// fan-out cone.
     pub fn detects(&self, pattern: &[bool], fault: Fault) -> bool {
+        let good = {
+            let mut cache = self.good_cache.lock().expect("good cache poisoned");
+            match cache.as_ref() {
+                Some((p, good)) if p == pattern => Arc::clone(good),
+                _ => {
+                    let good = Arc::new(self.engine.good_values(pattern));
+                    *cache = Some((pattern.to_vec(), Arc::clone(&good)));
+                    good
+                }
+            }
+        };
+        self.engine.detects_given_good(&good, fault)
+    }
+
+    /// Scalar reference for [`FaultSim::detects`]: two full circuit
+    /// evaluations, no caching. Kept for differential testing.
+    pub fn detects_scalar(&self, pattern: &[bool], fault: Fault) -> bool {
         let good = self.outputs(&self.eval_with_faults(pattern, &[]));
         let bad = self.outputs(&self.eval_with_faults(pattern, &[fault]));
         good != bad
@@ -149,10 +212,23 @@ impl<'a> FaultSim<'a> {
 
     /// Grades a pattern set against a fault list; returns, per fault,
     /// whether any pattern detects it, plus the overall coverage fraction.
+    ///
+    /// Delegates to the bit-parallel, fault-dropping, cone-restricted
+    /// [`PackedFaultSim`]; the result is bit-identical to
+    /// [`FaultSim::coverage_scalar`].
     pub fn coverage(&self, patterns: &[Vec<bool>], faults: &[Fault]) -> (Vec<bool>, f64) {
+        self.engine.coverage(patterns, faults)
+    }
+
+    /// The scalar reference grader: re-simulates the whole netlist for
+    /// every (pattern, fault) pair. O(patterns × faults × gates) — kept
+    /// as the differential-testing and benchmarking baseline for
+    /// [`FaultSim::coverage`].
+    pub fn coverage_scalar(&self, patterns: &[Vec<bool>], faults: &[Fault]) -> (Vec<bool>, f64) {
         let mut sp = seceda_trace::span("sim.fault_coverage");
         sp.attr("patterns", patterns.len());
         sp.attr("faults", faults.len());
+        sp.attr("engine", "scalar");
         let good_outputs: Vec<Vec<bool>> = patterns
             .iter()
             .map(|p| self.outputs(&self.eval_with_faults(p, &[])))

@@ -16,7 +16,11 @@
 //!   Gaussian measurement noise, producing the side-channel traces the
 //!   `seceda-sca` crate analyzes;
 //! * [`fault`] — stuck-at and transient fault injection plus batch fault
-//!   grading for ATPG and FIA campaigns.
+//!   grading for ATPG and FIA campaigns;
+//! * [`PackedFaultSim`] — the bit-parallel fault-grading engine behind
+//!   [`FaultSim::coverage`](fault::FaultSim::coverage): 64 patterns per
+//!   word, fault dropping, fan-out-cone-restricted faulty re-evaluation,
+//!   and multi-threaded fault-list fan-out.
 //!
 //! See [`CycleSim`] for a runnable end-to-end example.
 
@@ -26,11 +30,13 @@ pub mod power;
 mod cycle;
 mod event;
 mod packed;
+mod packed_fault;
 mod prob;
 
 pub use cycle::{CycleSim, SimTrace};
 pub use event::{EventSim, GlitchReport, ToggleEvent};
 pub use fault::{Fault, FaultKind, FaultSim};
 pub use packed::{pack_patterns, PackedSim};
+pub use packed_fault::PackedFaultSim;
 pub use power::{NoiseModel, PowerModel, TraceRecorder};
 pub use prob::signal_probabilities;

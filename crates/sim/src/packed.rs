@@ -4,7 +4,45 @@
 //! *k*. This is the standard trick that makes statistical analyses (signal
 //! probabilities, MERO N-detect test generation, fault grading) tractable.
 
-use seceda_netlist::{CellKind, GateId, Netlist, NetlistError};
+use seceda_netlist::{CellKind, Gate, GateId, Netlist, NetlistError};
+
+/// Evaluates one combinational gate on packed words: bit *k* of the
+/// result is the gate's output under pattern *k*.
+///
+/// # Panics
+///
+/// Debug-panics on sequential gates; callers iterate combinational
+/// topological orders only.
+pub(crate) fn eval_gate(g: &Gate, values: &[u64]) -> u64 {
+    match g.kind {
+        CellKind::Const0 => 0,
+        CellKind::Const1 => u64::MAX,
+        CellKind::Buf => values[g.inputs[0].index()],
+        CellKind::Not => !values[g.inputs[0].index()],
+        CellKind::And => g
+            .inputs
+            .iter()
+            .fold(u64::MAX, |acc, &i| acc & values[i.index()]),
+        CellKind::Nand => !g
+            .inputs
+            .iter()
+            .fold(u64::MAX, |acc, &i| acc & values[i.index()]),
+        CellKind::Or => g.inputs.iter().fold(0, |acc, &i| acc | values[i.index()]),
+        CellKind::Nor => !g.inputs.iter().fold(0, |acc, &i| acc | values[i.index()]),
+        CellKind::Xor => g.inputs.iter().fold(0, |acc, &i| acc ^ values[i.index()]),
+        CellKind::Xnor => !g.inputs.iter().fold(0, |acc, &i| acc ^ values[i.index()]),
+        CellKind::Mux => {
+            let s = values[g.inputs[0].index()];
+            let a = values[g.inputs[1].index()];
+            let b = values[g.inputs[2].index()];
+            (!s & a) | (s & b)
+        }
+        CellKind::Dff => {
+            debug_assert!(false, "eval_gate called on a sequential gate");
+            0
+        }
+    }
+}
 
 /// Bit-parallel combinational simulator.
 ///
@@ -47,6 +85,11 @@ impl<'a> PackedSim<'a> {
         self.nl
     }
 
+    /// The combinational topological order this simulator evaluates in.
+    pub(crate) fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
     /// Evaluates 64 patterns at once.
     ///
     /// `inputs[k]` is the packed word of primary input *k* (bit *p* =
@@ -79,34 +122,11 @@ impl<'a> PackedSim<'a> {
         for (k, &d) in dffs.iter().enumerate() {
             values[self.nl.gate(d).output.index()] = state[k];
         }
+        // the topological order holds combinational gates only, so every
+        // gate evaluates exactly once
         for &gid in &self.order {
             let g = self.nl.gate(gid);
-            let v = match g.kind {
-                CellKind::Const0 => 0,
-                CellKind::Const1 => u64::MAX,
-                CellKind::Buf => values[g.inputs[0].index()],
-                CellKind::Not => !values[g.inputs[0].index()],
-                CellKind::And => g
-                    .inputs
-                    .iter()
-                    .fold(u64::MAX, |acc, &i| acc & values[i.index()]),
-                CellKind::Nand => !g
-                    .inputs
-                    .iter()
-                    .fold(u64::MAX, |acc, &i| acc & values[i.index()]),
-                CellKind::Or => g.inputs.iter().fold(0, |acc, &i| acc | values[i.index()]),
-                CellKind::Nor => !g.inputs.iter().fold(0, |acc, &i| acc | values[i.index()]),
-                CellKind::Xor => g.inputs.iter().fold(0, |acc, &i| acc ^ values[i.index()]),
-                CellKind::Xnor => !g.inputs.iter().fold(0, |acc, &i| acc ^ values[i.index()]),
-                CellKind::Mux => {
-                    let s = values[g.inputs[0].index()];
-                    let a = values[g.inputs[1].index()];
-                    let b = values[g.inputs[2].index()];
-                    (!s & a) | (s & b)
-                }
-                CellKind::Dff => continue,
-            };
-            values[g.output.index()] = v;
+            values[g.output.index()] = eval_gate(g, &values);
         }
         values
     }

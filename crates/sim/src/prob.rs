@@ -6,10 +6,17 @@
 
 use crate::packed::PackedSim;
 use seceda_netlist::{Netlist, NetlistError};
+use seceda_testkit::par;
 use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
 /// Estimates, for every net, `P[net = 1]` under uniform random primary
 /// inputs, using `num_rounds` packed simulations (64 patterns each).
+///
+/// Rounds fan out across cores: the input words are drawn serially
+/// from one RNG stream (so the stimulus is identical to the historical
+/// single-threaded loop), then the independent packed evaluations run
+/// in parallel and their per-net one-counts are summed — exact integer
+/// addition, so the result is bit-identical for any worker count.
 ///
 /// # Errors
 ///
@@ -30,12 +37,26 @@ pub fn signal_probabilities(
     seceda_trace::counter("sim.patterns_simulated", (num_rounds * 64) as u64);
     let sim = PackedSim::new(nl)?;
     let mut rng = StdRng::seed_from_u64(seed);
+    let rounds: Vec<Vec<u64>> = (0..num_rounds)
+        .map(|_| (0..nl.inputs().len()).map(|_| rng.gen()).collect())
+        .collect();
+    let workers = par::workers_for(num_rounds);
+    seceda_trace::gauge("sim.par_workers", workers as f64);
+    let chunks: Vec<&[Vec<u64>]> = rounds.chunks(num_rounds.div_ceil(workers)).collect();
+    let partials = par::par_map(&chunks, |_, chunk| {
+        let mut ones = vec![0u64; nl.num_nets()];
+        for inputs in *chunk {
+            let values = sim.eval(inputs);
+            for (net, word) in values.iter().enumerate() {
+                ones[net] += word.count_ones() as u64;
+            }
+        }
+        ones
+    });
     let mut ones = vec![0u64; nl.num_nets()];
-    for _ in 0..num_rounds {
-        let inputs: Vec<u64> = (0..nl.inputs().len()).map(|_| rng.gen()).collect();
-        let values = sim.eval(&inputs);
-        for (net, word) in values.iter().enumerate() {
-            ones[net] += word.count_ones() as u64;
+    for partial in partials {
+        for (total, p) in ones.iter_mut().zip(partial) {
+            *total += p;
         }
     }
     let total = (num_rounds * 64) as f64;
@@ -68,6 +89,18 @@ mod tests {
         let probs = signal_probabilities(&nl, 128, 2).expect("probs");
         assert!((probs[a.index()] - 0.5).abs() < 0.03);
         assert!((probs[y.index()] - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn probabilities_identical_for_any_worker_count() {
+        let mut nl = Netlist::new("p");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate(CellKind::Nand, &[a, b]);
+        nl.mark_output(y, "y");
+        let serial = par::with_workers(1, || signal_probabilities(&nl, 37, 9).expect("probs"));
+        let parallel = par::with_workers(5, || signal_probabilities(&nl, 37, 9).expect("probs"));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -142,7 +142,10 @@ impl BenchResult {
 /// binaries with the *package* root as cwd, so a relative `target/`
 /// would scatter files across crate dirs; instead walk up from the
 /// running executable (`target/<profile>/deps/...`) to the real one.
-fn target_dir() -> std::path::PathBuf {
+///
+/// Public so bench targets can drop their own report files (e.g.
+/// `BENCH_fault_sim.json`) next to `seceda-bench.json`.
+pub fn target_dir() -> std::path::PathBuf {
     if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
         return std::path::PathBuf::from(dir);
     }

@@ -25,6 +25,10 @@
 //! * [`bench`] — a wall-clock micro-bench harness with
 //!   `criterion_group!`-compatible macros, emitting JSON lines to
 //!   `target/seceda-bench.json` (replaces `criterion`).
+//! * [`par`] — a scoped-thread, work-stealing parallel map (replaces
+//!   `rayon` for the embarrassingly parallel hot loops: fault lists,
+//!   CPA key guesses, packed simulation rounds) with order-preserving,
+//!   thread-count-independent results.
 //!
 //! Test files migrated from `proptest` only change one import:
 //!
@@ -46,6 +50,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod par;
 pub mod prop;
 pub mod rng;
 

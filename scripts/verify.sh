@@ -25,4 +25,11 @@ cargo test -q --offline
 echo "==> flow-trace example smoke run (release)"
 SECEDA_TRACE=1 cargo run --release --offline --example flow-trace > /dev/null
 
+echo "==> fault-sim bench smoke run (quick mode)"
+SECEDA_BENCH_QUICK=1 cargo bench --offline --bench fault_sim > /dev/null
+
+echo "==> BENCH_fault_sim.json is valid JSON"
+cargo run --release --offline -p seceda-bench --bin check_json -- \
+    "${CARGO_TARGET_DIR:-target}/BENCH_fault_sim.json"
+
 echo "==> verify OK"
