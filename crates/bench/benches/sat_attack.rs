@@ -1,0 +1,165 @@
+//! Rebuild-per-iteration vs. incremental SAT-attack benchmark.
+//!
+//! Runs the oracle-guided SAT attack on XOR-locked hosts with growing
+//! key widths through both formulations — the from-scratch baseline
+//! ([`sat_attack_rebuild`], full CNF re-encode + fresh solver per DIP
+//! iteration) and the persistent-solver attack ([`sat_attack`], one
+//! encoding, learned clauses kept across the whole DIP loop) — and
+//! verifies that both walk the same number of DIP iterations and that
+//! both recovered keys are functionally correct before reporting the
+//! speedup.
+//!
+//! Results go to stdout as a table and to `target/BENCH_sat_attack.json`
+//! (one JSON document, validated by the `check_json` bin in CI).
+//!
+//! `SECEDA_BENCH_QUICK=1` switches to a seconds-not-minutes smoke
+//! configuration (narrow keys, one sample) used by `scripts/verify.sh`.
+
+use seceda_lock::{sat_attack, sat_attack_rebuild, xor_lock, LockedNetlist, SatAttackResult};
+use seceda_netlist::{c17, random_circuit, Netlist, RandomCircuitConfig};
+use seceda_testkit::bench::target_dir;
+use seceda_testkit::json::Json;
+use std::time::Instant;
+
+struct CaseResult {
+    name: String,
+    key_width: usize,
+    iterations: usize,
+    rebuild_ns: u128,
+    incremental_ns: u128,
+    speedup: f64,
+    iterations_match: bool,
+    keys_correct: bool,
+}
+
+/// Median wall-clock time of `samples` runs of `f`; returns the median
+/// and the result of the last run.
+fn time_median<R>(samples: usize, mut f: impl FnMut() -> R) -> (u128, R) {
+    let mut times = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let start = Instant::now();
+        last = Some(std::hint::black_box(f()));
+        times.push(start.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], last.expect("at least one sample"))
+}
+
+fn key_is_correct(locked: &LockedNetlist, original: &Netlist, key: &[bool]) -> bool {
+    let n = locked.num_original_inputs;
+    (0..(1u32 << n)).all(|pattern| {
+        let inputs: Vec<bool> = (0..n).map(|b| (pattern >> b) & 1 == 1).collect();
+        locked.evaluate_with_key(&inputs, key) == original.evaluate(&inputs)
+    })
+}
+
+fn run_case(name: &str, original: &Netlist, key_width: usize, samples: usize) -> CaseResult {
+    let locked = xor_lock(original, key_width, 7);
+    let oracle = |x: &[bool]| original.evaluate(x);
+    let (rebuild_ns, rebuild) = time_median(samples, || {
+        sat_attack_rebuild(&locked, oracle)
+            .expect("rebuild attack runs")
+            .expect("rebuild attack finds a key")
+    });
+    let (incremental_ns, incremental): (u128, SatAttackResult) = time_median(samples, || {
+        sat_attack(&locked, oracle)
+            .expect("incremental attack runs")
+            .expect("incremental attack finds a key")
+    });
+    CaseResult {
+        name: name.to_string(),
+        key_width,
+        iterations: incremental.iterations,
+        rebuild_ns,
+        incremental_ns,
+        speedup: rebuild_ns as f64 / incremental_ns.max(1) as f64,
+        iterations_match: rebuild.iterations == incremental.iterations,
+        keys_correct: key_is_correct(&locked, original, &rebuild.key)
+            && key_is_correct(&locked, original, &incremental.key),
+    }
+}
+
+fn main() {
+    // cargo passes harness flags (--bench, filters) we don't interpret
+    let quick = std::env::var("SECEDA_BENCH_QUICK").is_ok_and(|v| v != "0");
+    // a 12-input host drives the DIP count up (more distinguishable key
+    // classes), which is exactly where rebuild-per-iteration pays its
+    // quadratic re-encoding bill; c17 keeps a familiar small case
+    let big = random_circuit(&RandomCircuitConfig {
+        num_inputs: 12,
+        num_gates: 300,
+        num_outputs: 6,
+        with_xor: true,
+        seed: 5,
+    });
+    let results: Vec<CaseResult> = if quick {
+        vec![
+            run_case("c17_xor4", &c17(), 4, 1),
+            run_case("c17_xor12", &c17(), 12, 1),
+        ]
+    } else {
+        vec![
+            run_case("c17_xor8", &c17(), 8, 3),
+            run_case("rand300_xor16", &big, 16, 3),
+            run_case("rand300_xor32", &big, 32, 3),
+            run_case("rand300_xor48", &big, 48, 3),
+            run_case("rand300_xor64", &big, 64, 3),
+        ]
+    };
+
+    println!(
+        "{:<12} {:>9} {:>10} {:>14} {:>14} {:>9} {:>11} {:>8}",
+        "case",
+        "key_bits",
+        "dip_iters",
+        "rebuild_ns",
+        "incr_ns",
+        "speedup",
+        "iters_match",
+        "keys_ok"
+    );
+    for r in &results {
+        println!(
+            "{:<12} {:>9} {:>10} {:>14} {:>14} {:>8.1}x {:>11} {:>8}",
+            r.name,
+            r.key_width,
+            r.iterations,
+            r.rebuild_ns,
+            r.incremental_ns,
+            r.speedup,
+            r.iterations_match,
+            r.keys_correct
+        );
+        assert!(
+            r.iterations_match,
+            "{}: incremental attack diverged from rebuild on DIP count",
+            r.name
+        );
+        assert!(r.keys_correct, "{}: a recovered key is wrong", r.name);
+    }
+
+    let entries: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("case", r.name.as_str())
+                .field("key_width", r.key_width)
+                .field("dip_iterations", r.iterations)
+                .field("rebuild_ns", r.rebuild_ns as i64)
+                .field("incremental_ns", r.incremental_ns as i64)
+                .field("speedup", r.speedup)
+                .field("iterations_match", r.iterations_match)
+                .field("keys_correct", r.keys_correct)
+                .build()
+        })
+        .collect();
+    let doc = Json::obj()
+        .field("bench", "sat_attack")
+        .field("quick", quick)
+        .field("results", entries)
+        .build();
+    let path = target_dir().join("BENCH_sat_attack.json");
+    std::fs::write(&path, format!("{}\n", doc.render())).expect("write BENCH_sat_attack.json");
+    println!("wrote {}", path.display());
+}

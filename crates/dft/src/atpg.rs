@@ -4,9 +4,19 @@
 //! a dedicated SAT query on a sensitization miter (good circuit vs.
 //! faulty circuit, shared inputs, some output must differ). UNSAT proves
 //! the fault untestable (redundant logic).
+//!
+//! The miter is built *incrementally*: [`AtpgSolver`] encodes the good
+//! circuit exactly once and keeps one persistent solver across every
+//! fault. Each query appends only the fault's fan-out cone, gated on a
+//! fresh selector literal passed as an assumption, then retires the cone
+//! with a root-level unit — so learned clauses about the good circuit
+//! accumulate across the whole run instead of being rebuilt per fault.
 
-use seceda_netlist::{Netlist, NetlistError};
-use seceda_sat::{encode_netlist, Cnf, SatResult, Solver};
+use seceda_netlist::{NetId, Netlist, NetlistError};
+use seceda_sat::{
+    encode_faulty_cone, encode_netlist, CnfBuilder, GatedCnf, Lit, NetlistEncoding, SatResult,
+    Solver,
+};
 use seceda_sim::{fault::stuck_at_universe, Fault, FaultKind, PackedFaultSim};
 use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
@@ -23,57 +33,113 @@ pub struct AtpgResult {
     pub total_faults: usize,
 }
 
-/// Encodes the faulty copy of `nl` with `fault` *structurally* injected:
-/// the faulted net's loads read a substituted constant/inverted net.
-fn encode_with_fault(
-    nl: &Netlist,
-    cnf: &mut Cnf,
-    fault: Fault,
-) -> Result<seceda_sat::NetlistEncoding, NetlistError> {
-    // build a structurally faulted netlist, then encode it normally
-    let mut faulty = nl.clone();
-    use seceda_netlist::{CellKind, GateTags};
-    let replacement = match fault.kind {
-        FaultKind::StuckAt0 => faulty.add_gate(CellKind::Const0, &[]),
-        FaultKind::StuckAt1 => faulty.add_gate(CellKind::Const1, &[]),
-        FaultKind::BitFlip => {
-            faulty.add_gate_tagged(CellKind::Not, &[fault.net], GateTags::default())
+/// A persistent incremental ATPG engine: the good circuit is encoded
+/// once, and every fault query only appends that fault's selector-gated
+/// fan-out cone to the same live solver.
+pub struct AtpgSolver<'a> {
+    nl: &'a Netlist,
+    solver: Solver,
+    good: NetlistEncoding,
+    /// A literal constrained false at the root; stuck-at faults read it
+    /// (or its negation) as their faulty source value.
+    false_lit: Lit,
+}
+
+impl<'a> AtpgSolver<'a> {
+    /// Encodes the good circuit into a fresh persistent solver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (cyclic netlists).
+    pub fn new(nl: &'a Netlist) -> Result<Self, NetlistError> {
+        let mut solver = Solver::new(0);
+        let good = encode_netlist(nl, &mut solver)?;
+        let f = solver.new_var();
+        solver.add_clause([f.neg()]);
+        Ok(AtpgSolver {
+            nl,
+            solver,
+            good,
+            false_lit: f.pos(),
+        })
+    }
+
+    /// The literal carrying the faulty value of `fault.net`.
+    fn faulty_source(&self, fault: Fault) -> Lit {
+        match fault.kind {
+            FaultKind::StuckAt0 => self.false_lit,
+            FaultKind::StuckAt1 => !self.false_lit,
+            FaultKind::BitFlip => self.good.vars[fault.net.index()].neg(),
         }
-    };
-    faulty.replace_net_uses(fault.net, replacement);
-    encode_netlist(&faulty, cnf)
+    }
+
+    /// Generates a test for a single fault; `None` means proven
+    /// untestable (by structure when the fault reaches no output, by
+    /// UNSAT otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn generate_test(&mut self, fault: Fault) -> Result<Option<Vec<bool>>, NetlistError> {
+        let faulty_source = self.faulty_source(fault);
+        let sel = self.solver.new_var();
+        let guard = sel.neg();
+        let cone = encode_faulty_cone(
+            self.nl,
+            &self.good,
+            fault.net,
+            faulty_source,
+            guard,
+            &mut self.solver,
+        )?;
+        if cone.is_empty() {
+            // the fault reaches no primary output: untestable without a
+            // single solver call
+            self.solver.add_clause([guard]);
+            return Ok(None);
+        }
+        // gated sensitization requirement: some cone output must differ
+        let mut gated = GatedCnf::new(&mut self.solver, guard);
+        let mut diffs = Vec::new();
+        for &(k, flit) in &cone {
+            let d = gated.new_var().pos();
+            let good_out = self.good.output_vars[k].pos();
+            gated.gate_xor(d, good_out, flit);
+            diffs.push(d);
+        }
+        gated.add_clause(diffs);
+        let result = self.solver.solve_with_assumptions(&[sel.pos()]);
+        // retire this fault's clause group for good
+        self.solver.add_clause([guard]);
+        Ok(match result {
+            SatResult::Sat(model) => Some(
+                self.good
+                    .input_vars
+                    .iter()
+                    .map(|v| model[v.index()])
+                    .collect(),
+            ),
+            SatResult::Unsat => None,
+        })
+    }
+
+    /// The net a fault on `net` feeds, resolved through the good
+    /// encoding (introspection hook for coverage-style callers).
+    pub fn good_var_of(&self, net: NetId) -> seceda_sat::Var {
+        self.good.vars[net.index()]
+    }
 }
 
 /// Generates a test for a single fault; `None` means proven untestable.
+///
+/// One-shot convenience wrapper over [`AtpgSolver`]; batch callers
+/// should keep one `AtpgSolver` across faults.
 ///
 /// # Errors
 ///
 /// Propagates encoding errors.
 pub fn generate_test_for(nl: &Netlist, fault: Fault) -> Result<Option<Vec<bool>>, NetlistError> {
-    let mut cnf = Cnf::new();
-    let good = encode_netlist(nl, &mut cnf)?;
-    let bad = encode_with_fault(nl, &mut cnf, fault)?;
-    for (&g, &b) in good.input_vars.iter().zip(&bad.input_vars) {
-        cnf.gate_buf(g.pos(), b.pos());
-    }
-    let mut diffs = Vec::new();
-    for (&og, &ob) in good.output_vars.iter().zip(&bad.output_vars) {
-        let d = cnf.new_var().pos();
-        cnf.gate_xor(d, og.pos(), ob.pos());
-        diffs.push(d);
-    }
-    let any = cnf.new_var().pos();
-    for &d in &diffs {
-        cnf.add_clause([any, !d]);
-    }
-    let mut big = diffs;
-    big.push(!any);
-    cnf.add_clause(big);
-    let mut solver = Solver::from_cnf(&cnf);
-    Ok(match solver.solve_with_assumptions(&[any]) {
-        SatResult::Sat(model) => Some(good.input_vars.iter().map(|v| model[v.index()]).collect()),
-        SatResult::Unsat => None,
-    })
+    AtpgSolver::new(nl)?.generate_test(fault)
 }
 
 /// Full ATPG: random bootstrap then SAT cleanup.
@@ -107,12 +173,13 @@ pub fn generate_tests(
     sim.grade(&patterns, &faults, &mut detected);
     let mut untestable = Vec::new();
     let mut sat_queries = 0u64;
+    let mut atpg = AtpgSolver::new(nl)?;
     for (k, &f) in faults.iter().enumerate() {
         if detected[k] {
             continue;
         }
         sat_queries += 1;
-        match generate_test_for(nl, f)? {
+        match atpg.generate_test(f)? {
             Some(pattern) => {
                 sim.grade(std::slice::from_ref(&pattern), &faults, &mut detected);
                 patterns.push(pattern);
@@ -183,10 +250,25 @@ mod tests {
         let nl = c17();
         let faults = stuck_at_universe(&nl);
         let sim = seceda_sim::FaultSim::new(&nl).expect("sim");
+        let mut atpg = AtpgSolver::new(&nl).expect("encode");
         for &f in &faults {
-            if let Some(pattern) = generate_test_for(&nl, f).expect("query") {
+            if let Some(pattern) = atpg.generate_test(f).expect("query") {
                 assert!(sim.detects(&pattern, f), "SAT pattern must detect {f:?}");
             }
+        }
+    }
+
+    #[test]
+    fn persistent_solver_agrees_with_one_shot_queries() {
+        // differential: the shared-solver path must classify every fault
+        // exactly like a fresh solver per fault
+        let nl = c17();
+        let faults = stuck_at_universe(&nl);
+        let mut atpg = AtpgSolver::new(&nl).expect("encode");
+        for &f in &faults {
+            let shared = atpg.generate_test(f).expect("query").is_some();
+            let fresh = generate_test_for(&nl, f).expect("query").is_some();
+            assert_eq!(shared, fresh, "testability verdicts diverge on {f:?}");
         }
     }
 

@@ -7,10 +7,21 @@
 //! queries the oracle on it. The oracle response rules out at least one
 //! equivalence class of wrong keys. When no DIP remains, any surviving
 //! key is functionally correct.
+//!
+//! [`sat_attack`] keeps ONE live solver across the whole DIP loop: the
+//! two keyed copies and the difference miter are encoded exactly once,
+//! and each iteration appends only the two freshly constrained
+//! observation copies through the [`CnfBuilder`] impl on [`Solver`].
+//! Learned clauses survive across iterations, so later (harder) DIP
+//! queries start from everything the solver already derived. The
+//! rebuild-from-scratch baseline is kept as [`sat_attack_rebuild`] for
+//! differential testing and benchmarking.
 
 use crate::locking::LockedNetlist;
 use seceda_netlist::NetlistError;
-use seceda_sat::{encode_netlist, Cnf, Lit, SatResult, Solver};
+use seceda_sat::{
+    encode_netlist, encode_netlist_bound, Cnf, CnfBuilder, Lit, SatResult, Signal, Solver, Var,
+};
 
 /// Outcome of a SAT attack.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,75 +34,174 @@ pub struct SatAttackResult {
     /// Total solver conflicts across all iterations, a proxy for attack
     /// effort.
     pub conflicts: u64,
+    /// Solver conflicts spent in each DIP iteration (the final entry is
+    /// the key-extraction solve).
+    pub conflict_deltas: Vec<u64>,
 }
 
-/// Builds the attack CNF: two copies of the locked circuit sharing X but
-/// with independent keys, plus one constrained copy per recorded
-/// (input, output) oracle observation for each key. Returns
+/// Encodes the attack scaffolding — two copies of the locked circuit
+/// sharing X but with independent keys, plus the difference miter — into
+/// any clause sink. Returns `(x_vars, k1_vars, k2_vars, diff_lit)`.
+#[allow(clippy::type_complexity)]
+fn encode_attack_scaffold<B: CnfBuilder>(
+    locked: &LockedNetlist,
+    sink: &mut B,
+) -> Result<(Vec<Var>, Vec<Var>, Vec<Var>, Lit), NetlistError> {
+    let nl = &locked.netlist;
+    let nx = locked.num_original_inputs;
+    let nk = locked.key_width();
+    let enc1 = encode_netlist(nl, sink)?;
+    let enc2 = encode_netlist(nl, sink)?;
+    // share functional inputs
+    for i in 0..nx {
+        sink.gate_buf(enc1.input_vars[i].pos(), enc2.input_vars[i].pos());
+    }
+    // diff literal over outputs
+    let mut diffs = Vec::new();
+    for (o1, o2) in enc1.output_vars.iter().zip(&enc2.output_vars) {
+        let d = sink.new_var().pos();
+        sink.gate_xor(d, o1.pos(), o2.pos());
+        diffs.push(d);
+    }
+    let diff = sink.new_var().pos();
+    for &d in &diffs {
+        sink.add_clause([diff, !d]);
+    }
+    let mut big = diffs;
+    big.push(!diff);
+    sink.add_clause(big);
+
+    let k1: Vec<_> = enc1.input_vars[nx..nx + nk].to_vec();
+    let k2: Vec<_> = enc2.input_vars[nx..nx + nk].to_vec();
+    let x_vars = enc1.input_vars[..nx].to_vec();
+    Ok((x_vars, k1, k2, diff))
+}
+
+/// Appends one observation `(x_hat, y_hat)` to the attack encoding: a
+/// fresh constrained circuit copy per key, with inputs pinned to `x_hat`,
+/// outputs pinned to `y_hat`, and key inputs tied to the key variables.
+fn encode_observation<B: CnfBuilder>(
+    locked: &LockedNetlist,
+    sink: &mut B,
+    k1: &[Var],
+    k2: &[Var],
+    x_hat: &[bool],
+    y_hat: &[bool],
+) -> Result<(), NetlistError> {
+    let nl = &locked.netlist;
+    let nx = locked.num_original_inputs;
+    for key_vars in [k1, k2] {
+        let enc = encode_netlist(nl, sink)?;
+        for (i, &xv) in x_hat.iter().enumerate() {
+            sink.add_clause([enc.input_vars[i].lit(xv)]);
+        }
+        for (j, kv) in key_vars.iter().enumerate() {
+            sink.gate_buf(enc.input_vars[nx + j].pos(), kv.pos());
+        }
+        for (o, &yv) in enc.output_vars.iter().zip(y_hat) {
+            sink.add_clause([o.lit(yv)]);
+        }
+    }
+    Ok(())
+}
+
+/// Appends one observation `(x_hat, y_hat)` with the functional inputs
+/// *constant-folded* through the circuit: only the key-dependent cone
+/// survives as variables and clauses, so each DIP iteration grows the
+/// live formula by a handful of clauses instead of two full circuit
+/// copies. Semantically identical to [`encode_observation`] — both pin
+/// the same function of the key variables — which is what keeps the
+/// lex-min DIP transcript (and hence the iteration count) in exact
+/// agreement with the rebuild baseline.
+fn encode_observation_folded<B: CnfBuilder>(
+    locked: &LockedNetlist,
+    sink: &mut B,
+    const_false: Lit,
+    k1: &[Var],
+    k2: &[Var],
+    x_hat: &[bool],
+    y_hat: &[bool],
+) -> Result<(), NetlistError> {
+    let nl = &locked.netlist;
+    for key_vars in [k1, k2] {
+        let bindings: Vec<Signal> = x_hat
+            .iter()
+            .map(|&b| Signal::Const(b))
+            .chain(key_vars.iter().map(|kv| Signal::Lit(kv.pos())))
+            .collect();
+        let outs = encode_netlist_bound(nl, &bindings, const_false, sink)?;
+        for (out, &yv) in outs.iter().zip(y_hat) {
+            match out {
+                Signal::Const(b) => {
+                    if *b != yv {
+                        // the observation contradicts a key-independent
+                        // output; make the formula unsatisfiable
+                        sink.add_clause([const_false]);
+                    }
+                }
+                Signal::Lit(l) => sink.add_clause([if yv { *l } else { !*l }]),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the full attack CNF for a given observation set (the
+/// rebuild-per-iteration formulation). Returns
 /// `(cnf, x_vars, k1_vars, k2_vars, diff_lit)`.
 #[allow(clippy::type_complexity)]
 fn build_attack_cnf(
     locked: &LockedNetlist,
     observations: &[(Vec<bool>, Vec<bool>)],
-) -> Result<
-    (
-        Cnf,
-        Vec<seceda_sat::Var>,
-        Vec<seceda_sat::Var>,
-        Vec<seceda_sat::Var>,
-        Lit,
-    ),
-    NetlistError,
-> {
-    let nl = &locked.netlist;
-    let nx = locked.num_original_inputs;
-    let nk = locked.key_width();
+) -> Result<(Cnf, Vec<Var>, Vec<Var>, Vec<Var>, Lit), NetlistError> {
     let mut cnf = Cnf::new();
-    let enc1 = encode_netlist(nl, &mut cnf)?;
-    let enc2 = encode_netlist(nl, &mut cnf)?;
-    // share functional inputs
-    for i in 0..nx {
-        cnf.gate_buf(enc1.input_vars[i].pos(), enc2.input_vars[i].pos());
-    }
-    // diff literal over outputs
-    let mut diffs = Vec::new();
-    for (o1, o2) in enc1.output_vars.iter().zip(&enc2.output_vars) {
-        let d = cnf.new_var().pos();
-        cnf.gate_xor(d, o1.pos(), o2.pos());
-        diffs.push(d);
-    }
-    let diff = cnf.new_var().pos();
-    for &d in &diffs {
-        cnf.add_clause([diff, !d]);
-    }
-    let mut big = diffs;
-    big.push(!diff);
-    cnf.add_clause(big);
-
-    let k1: Vec<_> = enc1.input_vars[nx..nx + nk].to_vec();
-    let k2: Vec<_> = enc2.input_vars[nx..nx + nk].to_vec();
-
-    // each observation constrains both keys via fresh circuit copies
+    let (x_vars, k1, k2, diff) = encode_attack_scaffold(locked, &mut cnf)?;
     for (x_hat, y_hat) in observations {
-        for key_vars in [&k1, &k2] {
-            let enc = encode_netlist(nl, &mut cnf)?;
-            for (i, &xv) in x_hat.iter().enumerate() {
-                cnf.add_clause([enc.input_vars[i].lit(xv)]);
+        encode_observation(locked, &mut cnf, &k1, &k2, x_hat, y_hat)?;
+    }
+    Ok((cnf, x_vars, k1, k2, diff))
+}
+
+/// Refines a found DIP into the *lexicographically smallest* DIP of the
+/// current formula (bit-by-bit, preferring `false`), using incremental
+/// assumption-only queries on the same solver.
+///
+/// This pins the attack's whole query transcript to a property of the
+/// formula instead of solver heuristics, so the incremental and the
+/// rebuild-per-iteration attacks walk identical DIP sequences and agree
+/// on iteration counts exactly — the invariant the differential suite
+/// and the benchmark check.
+fn canonical_dip(solver: &mut Solver, x_vars: &[Var], diff: Lit, model: &[bool]) -> Vec<bool> {
+    let mut assumptions = vec![diff];
+    let mut current: Vec<bool> = x_vars.iter().map(|v| model[v.index()]).collect();
+    for i in 0..x_vars.len() {
+        if current[i] {
+            // can this bit be false? (the current model only witnesses true)
+            assumptions.push(x_vars[i].neg());
+            match solver.solve_with_assumptions(&assumptions) {
+                SatResult::Sat(m) => {
+                    current[i] = false;
+                    for (j, xj) in x_vars.iter().enumerate().skip(i + 1) {
+                        current[j] = m[xj.index()];
+                    }
+                }
+                SatResult::Unsat => {
+                    assumptions.pop();
+                    assumptions.push(x_vars[i].pos());
+                }
             }
-            for (j, kv) in key_vars.iter().enumerate() {
-                cnf.gate_buf(enc.input_vars[nx + j].pos(), kv.pos());
-            }
-            for (o, &yv) in enc.output_vars.iter().zip(y_hat) {
-                cnf.add_clause([o.lit(yv)]);
-            }
+        } else {
+            assumptions.push(x_vars[i].neg());
         }
     }
-    let x_vars = enc1.input_vars[..nx].to_vec();
-    Ok((cnf, x_vars, k1, k2, diff))
+    current
 }
 
 /// Runs the SAT attack against `locked`, using `oracle` as the activated
 /// chip (a function from functional inputs to outputs).
+///
+/// The attack is fully incremental: one netlist-pair encoding total, one
+/// persistent solver for every DIP query and the final key extraction.
 ///
 /// Returns a functionally correct key, or `None` if even the final
 /// key-extraction step is unsatisfiable (cannot happen for consistently
@@ -104,31 +214,110 @@ pub fn sat_attack(
     locked: &LockedNetlist,
     oracle: impl Fn(&[bool]) -> Vec<bool>,
 ) -> Result<Option<SatAttackResult>, NetlistError> {
+    let mut sp = seceda_trace::span("lock.sat_attack");
+    sp.attr("key_width", locked.key_width());
+    let mut solver = Solver::new(0);
+    let (x_vars, k1, _k2, diff) = encode_attack_scaffold(locked, &mut solver)?;
+    // a literal that is false in every model, for lowering residual
+    // constants in the folded observation copies
+    let const_false = solver.new_var().pos();
+    solver.add_clause([!const_false]);
+    let mut iterations = 0usize;
+    let mut conflict_deltas: Vec<u64> = Vec::new();
+    loop {
+        let before = solver.num_conflicts;
+        match solver.solve_with_assumptions(&[diff]) {
+            SatResult::Sat(model) => {
+                iterations += 1;
+                let x_hat = canonical_dip(&mut solver, &x_vars, diff, &model);
+                conflict_deltas.push(solver.num_conflicts - before);
+                let y_hat = oracle(&x_hat);
+                encode_observation_folded(
+                    locked,
+                    &mut solver,
+                    const_false,
+                    &k1,
+                    &_k2,
+                    &x_hat,
+                    &y_hat,
+                )?;
+            }
+            SatResult::Unsat => {
+                conflict_deltas.push(solver.num_conflicts - before);
+                // no DIP left: extract any key satisfying all
+                // observations from the SAME solver, just without the
+                // diff assumption
+                let before = solver.num_conflicts;
+                let result = match solver.solve() {
+                    SatResult::Sat(model) => {
+                        conflict_deltas.push(solver.num_conflicts - before);
+                        Some(SatAttackResult {
+                            key: k1.iter().map(|v| model[v.index()]).collect(),
+                            iterations,
+                            conflicts: solver.num_conflicts,
+                            conflict_deltas,
+                        })
+                    }
+                    SatResult::Unsat => None,
+                };
+                seceda_trace::counter("lock.dip_iterations", iterations as u64);
+                sp.attr("iterations", iterations);
+                return Ok(result);
+            }
+        }
+        assert!(
+            iterations <= 1 << 16,
+            "SAT attack runaway: too many iterations"
+        );
+    }
+}
+
+/// The original rebuild-per-iteration SAT attack: re-encodes the full
+/// attack CNF and builds a fresh solver on every DIP iteration. Kept as
+/// the differential-testing and benchmarking baseline for [`sat_attack`];
+/// both must agree on iteration counts and recover functionally
+/// equivalent keys.
+///
+/// # Errors
+///
+/// Propagates encoding errors (cyclic netlists).
+pub fn sat_attack_rebuild(
+    locked: &LockedNetlist,
+    oracle: impl Fn(&[bool]) -> Vec<bool>,
+) -> Result<Option<SatAttackResult>, NetlistError> {
     let mut observations: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
     let mut iterations = 0usize;
     let mut conflicts = 0u64;
+    let mut conflict_deltas: Vec<u64> = Vec::new();
     loop {
         let (cnf, x_vars, _, _, diff) = build_attack_cnf(locked, &observations)?;
         let mut solver = Solver::from_cnf(&cnf);
         match solver.solve_with_assumptions(&[diff]) {
             SatResult::Sat(model) => {
-                conflicts += solver.num_conflicts;
                 iterations += 1;
-                let x_hat: Vec<bool> = x_vars.iter().map(|v| model[v.index()]).collect();
+                let x_hat = canonical_dip(&mut solver, &x_vars, diff, &model);
+                conflicts += solver.num_conflicts;
+                conflict_deltas.push(solver.num_conflicts);
                 let y_hat = oracle(&x_hat);
                 observations.push((x_hat, y_hat));
             }
             SatResult::Unsat => {
                 conflicts += solver.num_conflicts;
+                conflict_deltas.push(solver.num_conflicts);
                 // no DIP left: extract any key satisfying all observations
                 let (cnf, _, k1, _, _) = build_attack_cnf(locked, &observations)?;
                 let mut solver = Solver::from_cnf(&cnf);
                 return Ok(match solver.solve() {
-                    SatResult::Sat(model) => Some(SatAttackResult {
-                        key: k1.iter().map(|v| model[v.index()]).collect(),
-                        iterations,
-                        conflicts,
-                    }),
+                    SatResult::Sat(model) => {
+                        conflicts += solver.num_conflicts;
+                        conflict_deltas.push(solver.num_conflicts);
+                        Some(SatAttackResult {
+                            key: k1.iter().map(|v| model[v.index()]).collect(),
+                            iterations,
+                            conflicts,
+                            conflict_deltas,
+                        })
+                    }
                     SatResult::Unsat => None,
                 });
             }
@@ -212,5 +401,17 @@ mod tests {
         let rl = sat_attack(&large, oracle).expect("runs").expect("key");
         // more key gates mean at least as many (usually more) iterations
         assert!(rl.iterations >= rs.iterations);
+    }
+
+    #[test]
+    fn conflict_deltas_cover_every_solve() {
+        let nl = c17();
+        let locked = xor_lock(&nl, 8, 7);
+        let oracle = |x: &[bool]| nl.evaluate(x);
+        let r = sat_attack(&locked, oracle).expect("runs").expect("key");
+        // one delta per DIP query, one for the exhausted-DIP proof, one
+        // for the key extraction
+        assert_eq!(r.conflict_deltas.len(), r.iterations + 2);
+        assert_eq!(r.conflicts, r.conflict_deltas.iter().sum::<u64>());
     }
 }

@@ -1,8 +1,56 @@
 //! Property-based tests for logic locking.
 
-use seceda_lock::{mux_lock, sfll_hd0, xor_lock};
+use seceda_lock::{mux_lock, sat_attack, sat_attack_rebuild, sfll_hd0, xor_lock, LockedNetlist};
 use seceda_netlist::{random_circuit, RandomCircuitConfig};
 use seceda_testkit::prelude::*;
+
+/// Differential check: the incremental persistent-solver attack must
+/// take exactly as many DIP iterations as the rebuild-per-iteration
+/// baseline and recover a functionally equivalent key.
+fn assert_incremental_matches_rebuild(locked: &LockedNetlist, original: &seceda_netlist::Netlist) {
+    let oracle = |x: &[bool]| original.evaluate(x);
+    let inc = sat_attack(locked, oracle)
+        .expect("incremental attack runs")
+        .expect("incremental attack finds a key");
+    let reb = sat_attack_rebuild(locked, oracle)
+        .expect("rebuild attack runs")
+        .expect("rebuild attack finds a key");
+    assert_eq!(
+        inc.iterations, reb.iterations,
+        "incremental and rebuild attacks must agree on DIP count"
+    );
+    let n = locked.num_original_inputs;
+    for pattern in 0..(1u32 << n) {
+        let inputs: Vec<bool> = (0..n).map(|b| (pattern >> b) & 1 == 1).collect();
+        let expect = original.evaluate(&inputs);
+        assert_eq!(
+            locked.evaluate_with_key(&inputs, &inc.key),
+            expect,
+            "incremental key wrong on {inputs:?}"
+        );
+        assert_eq!(
+            locked.evaluate_with_key(&inputs, &reb.key),
+            expect,
+            "rebuild key wrong on {inputs:?}"
+        );
+    }
+}
+
+#[test]
+fn incremental_attack_matches_rebuild_on_all_schemes() {
+    let nl = seceda_netlist::c17();
+    assert_incremental_matches_rebuild(&xor_lock(&nl, 8, 7), &nl);
+    assert_incremental_matches_rebuild(&mux_lock(&nl, 4, 9), &nl);
+    assert_incremental_matches_rebuild(&sfll_hd0(&nl, &[true, false, true, false, true]), &nl);
+}
+
+#[test]
+fn incremental_attack_matches_rebuild_on_random_hosts() {
+    for seed in [1u64, 17, 91] {
+        let nl = host(seed, 18);
+        assert_incremental_matches_rebuild(&xor_lock(&nl, 6, seed ^ 0xC), &nl);
+    }
+}
 
 fn host(seed: u64, gates: usize) -> seceda_netlist::Netlist {
     random_circuit(&RandomCircuitConfig {

@@ -91,6 +91,103 @@ impl fmt::Display for Lit {
     }
 }
 
+/// A sink for CNF clauses: anything that can allocate variables and
+/// receive clauses.
+///
+/// Implemented by [`Cnf`] (builds a formula in memory) and by
+/// [`Solver`](crate::Solver) (adds clauses to a *live* solver, enabling
+/// incremental encodings that keep learned clauses across queries — the
+/// persistent-solver SAT attack and incremental ATPG encode netlist
+/// copies straight into the solver through this trait). The gate helpers
+/// ([`gate_and`](CnfBuilder::gate_and) etc.) are provided for every
+/// implementation.
+pub trait CnfBuilder {
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> Var;
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable.
+    fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>);
+
+    /// Allocates `n` fresh variables.
+    fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Adds clauses forcing `y <-> (a AND b)`.
+    fn gate_and(&mut self, y: Lit, a: Lit, b: Lit) {
+        self.add_clause([!y, a]);
+        self.add_clause([!y, b]);
+        self.add_clause([y, !a, !b]);
+    }
+
+    /// Adds clauses forcing `y <-> (a OR b)`.
+    fn gate_or(&mut self, y: Lit, a: Lit, b: Lit) {
+        self.add_clause([y, !a]);
+        self.add_clause([y, !b]);
+        self.add_clause([!y, a, b]);
+    }
+
+    /// Adds clauses forcing `y <-> (a XOR b)`.
+    fn gate_xor(&mut self, y: Lit, a: Lit, b: Lit) {
+        self.add_clause([!y, a, b]);
+        self.add_clause([!y, !a, !b]);
+        self.add_clause([y, !a, b]);
+        self.add_clause([y, a, !b]);
+    }
+
+    /// Adds clauses forcing `y <-> (s ? b : a)`.
+    fn gate_mux(&mut self, y: Lit, s: Lit, a: Lit, b: Lit) {
+        // s=0: y <-> a ; s=1: y <-> b
+        self.add_clause([s, !y, a]);
+        self.add_clause([s, y, !a]);
+        self.add_clause([!s, !y, b]);
+        self.add_clause([!s, y, !b]);
+    }
+
+    /// Adds clauses forcing `y <-> a`.
+    fn gate_buf(&mut self, y: Lit, a: Lit) {
+        self.add_clause([!y, a]);
+        self.add_clause([y, !a]);
+    }
+}
+
+/// A [`CnfBuilder`] adapter that appends a fixed guard literal to every
+/// clause, making the whole clause group conditional: the clauses bind
+/// only under the assumption `!guard`, and a root-level unit `guard`
+/// retires the group forever.
+///
+/// This is the selector mechanism behind incremental ATPG and the
+/// fault-coverage proofs: each fault's faulty cone is encoded gated on a
+/// fresh selector, activated via assumptions, and retired after its
+/// query instead of rebuilding the solver.
+pub struct GatedCnf<'a, B: CnfBuilder> {
+    inner: &'a mut B,
+    guard: Lit,
+}
+
+impl<'a, B: CnfBuilder> GatedCnf<'a, B> {
+    /// Wraps `inner`, adding `guard` to every clause added through the
+    /// wrapper. Variables are allocated ungated.
+    pub fn new(inner: &'a mut B, guard: Lit) -> Self {
+        GatedCnf { inner, guard }
+    }
+}
+
+impl<B: CnfBuilder> CnfBuilder for GatedCnf<'_, B> {
+    fn new_var(&mut self) -> Var {
+        self.inner.new_var()
+    }
+
+    fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let guard = self.guard;
+        self.inner.add_clause(lits.into_iter().chain([guard]));
+    }
+}
+
 /// A CNF formula under construction.
 ///
 /// # Example
@@ -152,48 +249,21 @@ impl Cnf {
         &self.clauses
     }
 
-    /// Adds clauses forcing `y <-> (a AND b)`.
-    pub fn gate_and(&mut self, y: Lit, a: Lit, b: Lit) {
-        self.add_clause([!y, a]);
-        self.add_clause([!y, b]);
-        self.add_clause([y, !a, !b]);
-    }
-
-    /// Adds clauses forcing `y <-> (a OR b)`.
-    pub fn gate_or(&mut self, y: Lit, a: Lit, b: Lit) {
-        self.add_clause([y, !a]);
-        self.add_clause([y, !b]);
-        self.add_clause([!y, a, b]);
-    }
-
-    /// Adds clauses forcing `y <-> (a XOR b)`.
-    pub fn gate_xor(&mut self, y: Lit, a: Lit, b: Lit) {
-        self.add_clause([!y, a, b]);
-        self.add_clause([!y, !a, !b]);
-        self.add_clause([y, !a, b]);
-        self.add_clause([y, a, !b]);
-    }
-
-    /// Adds clauses forcing `y <-> (s ? b : a)`.
-    pub fn gate_mux(&mut self, y: Lit, s: Lit, a: Lit, b: Lit) {
-        // s=0: y <-> a ; s=1: y <-> b
-        self.add_clause([s, !y, a]);
-        self.add_clause([s, y, !a]);
-        self.add_clause([!s, !y, b]);
-        self.add_clause([!s, y, !b]);
-    }
-
-    /// Adds clauses forcing `y <-> a`.
-    pub fn gate_buf(&mut self, y: Lit, a: Lit) {
-        self.add_clause([!y, a]);
-        self.add_clause([y, !a]);
-    }
-
     /// Checks a full assignment against every clause (testing helper).
     pub fn is_satisfied_by(&self, model: &[bool]) -> bool {
         self.clauses
             .iter()
             .all(|c| c.iter().any(|&l| l.eval(model[l.var().index()])))
+    }
+}
+
+impl CnfBuilder for Cnf {
+    fn new_var(&mut self) -> Var {
+        Cnf::new_var(self)
+    }
+
+    fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        Cnf::add_clause(self, lits);
     }
 }
 

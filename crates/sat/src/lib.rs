@@ -10,10 +10,16 @@
 //! "mimic attackers leveraging satisfiability-based tools".
 //!
 //! * [`Solver`] — conflict-driven clause learning with two-watched
-//!   literals, VSIDS-style activities, phase saving, Luby restarts and
-//!   incremental solving under assumptions;
+//!   literals, heap-ordered VSIDS activities, learned-clause database
+//!   reduction, conflict-clause minimization, phase saving, Luby
+//!   restarts, and incremental solving under assumptions with on-the-fly
+//!   variable/clause addition;
 //! * [`Cnf`] / [`Lit`] / [`Var`] — formula representation;
-//! * [`encode`] — Tseitin encoding of netlists and miter construction.
+//! * [`CnfBuilder`] — the clause-sink trait shared by [`Cnf`] and
+//!   [`Solver`], so encodings can target a live solver incrementally;
+//!   [`GatedCnf`] gates a clause group on a selector literal;
+//! * [`encode`] — Tseitin encoding of netlists, miter construction, and
+//!   selector-gated faulty-cone encoding for incremental ATPG.
 //!
 //! # Example
 //!
@@ -37,6 +43,8 @@ pub mod encode;
 mod cnf;
 mod solver;
 
-pub use cnf::{Cnf, Lit, Var};
-pub use encode::{encode_netlist, miter, NetlistEncoding};
+pub use cnf::{Cnf, CnfBuilder, GatedCnf, Lit, Var};
+pub use encode::{
+    encode_faulty_cone, encode_netlist, encode_netlist_bound, miter, NetlistEncoding, Signal,
+};
 pub use solver::{SatResult, Solver};

@@ -88,6 +88,68 @@ proptest! {
     }
 
     #[test]
+    fn reduce_db_never_flips_result(
+        num_vars in 2usize..9,
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0usize..16, any::<bool>()), 1..4),
+            0..30
+        ),
+    ) {
+        // an aggressively small pinned clause budget forces constant
+        // database reduction; satisfiability must be unaffected
+        let cnf = random_cnf(num_vars, &clauses);
+        let brute = brute_force_sat(&cnf);
+        let mut solver = Solver::from_cnf(&cnf);
+        solver.set_reduce_db_limit(16);
+        let result = solver.solve();
+        prop_assert_eq!(result.is_sat(), brute);
+        if let SatResult::Sat(model) = result {
+            prop_assert!(cnf.is_satisfied_by(&model));
+        }
+        // the solver stays sound for reuse after reductions
+        prop_assert_eq!(solver.solve().is_sat(), brute);
+    }
+
+    #[test]
+    fn heap_decide_matches_linear_scan(
+        num_vars in 2usize..9,
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0usize..16, any::<bool>()), 1..4),
+            1..30
+        ),
+    ) {
+        // the order heap must pick exactly the variable a linear argmax
+        // over VSIDS activities would pick: highest activity, lowest
+        // index on ties — both on a fresh solver (all activities equal)
+        // and after a solve has bumped and rescaled activities
+        let cnf = random_cnf(num_vars, &clauses);
+        let mut solver = Solver::from_cnf(&cnf);
+        let check = |solver: &mut Solver| {
+            let heap_pick = solver.next_decision_var();
+            let mut best: Option<seceda_sat::Var> = None;
+            for i in 0..solver.num_vars() {
+                let v = seceda_sat::Var::from_index(i);
+                if solver.var_value(v).is_some() {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => solver.var_activity(v) > solver.var_activity(b),
+                };
+                if better {
+                    best = Some(v);
+                }
+            }
+            (heap_pick, best)
+        };
+        let (h0, l0) = check(&mut solver);
+        prop_assert_eq!(h0, l0, "fresh solver");
+        solver.solve();
+        let (h1, l1) = check(&mut solver);
+        prop_assert_eq!(h1, l1, "after solve");
+    }
+
+    #[test]
     fn encoded_circuit_models_respect_simulation(seed in 0u64..3000, gates in 3usize..25) {
         let nl = seceda_netlist::random_circuit(&seceda_netlist::RandomCircuitConfig {
             num_inputs: 4,

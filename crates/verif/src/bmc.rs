@@ -1,7 +1,7 @@
 //! Bounded model checking by time-frame unrolling.
 
 use seceda_netlist::{Netlist, NetlistError};
-use seceda_sat::{encode_netlist, Cnf, SatResult, Solver};
+use seceda_sat::{encode_netlist, Cnf, CnfBuilder, SatResult, Solver};
 
 /// Result of a reachability query.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -5,10 +5,17 @@
 //! outputs differ while the alarm stays low. This is the "demonstrate
 //! the absence of vulnerabilities" mode the paper's red-team/blue-team
 //! discussion contrasts with mere simulation.
+//!
+//! The proof loop shares ONE good-circuit encoding and one persistent
+//! solver across the whole fault universe: each fault contributes only
+//! its selector-gated fan-out cone (see
+//! [`encode_faulty_cone`]), activated by assumption and retired after
+//! its query. Faults whose cone reaches no functional output are proven
+//! detected-or-masked without any solver call at all.
 
 use seceda_fia::codes::ProtectedNetlist;
-use seceda_netlist::{CellKind, GateTags, Netlist, NetlistError};
-use seceda_sat::{encode_netlist, Cnf, SatResult, Solver};
+use seceda_netlist::NetlistError;
+use seceda_sat::{encode_faulty_cone, encode_netlist, CnfBuilder, GatedCnf, SatResult, Solver};
 use seceda_sim::{fault::stuck_at_universe, Fault, FaultKind};
 
 /// Result of the formal detection proof.
@@ -27,19 +34,6 @@ impl DetectionProof {
     pub fn holds(&self) -> bool {
         self.violations.is_empty()
     }
-}
-
-fn inject(nl: &Netlist, fault: Fault) -> Netlist {
-    let mut faulty = nl.clone();
-    let replacement = match fault.kind {
-        FaultKind::StuckAt0 => faulty.add_gate(CellKind::Const0, &[]),
-        FaultKind::StuckAt1 => faulty.add_gate(CellKind::Const1, &[]),
-        FaultKind::BitFlip => {
-            faulty.add_gate_tagged(CellKind::Not, &[fault.net], GateTags::default())
-        }
-    };
-    faulty.replace_net_uses(fault.net, replacement);
-    faulty
 }
 
 /// Proves (or refutes) single-fault detection for a protected netlist:
@@ -65,43 +59,59 @@ pub fn prove_detection(protected: &ProtectedNetlist) -> Result<DetectionProof, N
         .into_iter()
         .filter(|f| nl.net(f.net).driver.is_some())
         .collect();
+    let mut solver = Solver::new(0);
+    let good = encode_netlist(nl, &mut solver)?;
+    let f0 = solver.new_var();
+    solver.add_clause([f0.neg()]);
     let mut proven = 0usize;
     let mut violations = Vec::new();
     for &fault in &faults {
-        let faulty = inject(nl, fault);
-        let mut cnf = Cnf::new();
-        let good = encode_netlist(nl, &mut cnf)?;
-        let bad = encode_netlist(&faulty, &mut cnf)?;
-        for (&g, &b) in good.input_vars.iter().zip(&bad.input_vars) {
-            cnf.gate_buf(g.pos(), b.pos());
+        let faulty_source = match fault.kind {
+            FaultKind::StuckAt0 => f0.pos(),
+            FaultKind::StuckAt1 => f0.neg(),
+            FaultKind::BitFlip => good.vars[fault.net.index()].neg(),
+        };
+        let sel = solver.new_var();
+        let guard = sel.neg();
+        let cone = encode_faulty_cone(nl, &good, fault.net, faulty_source, guard, &mut solver)?;
+        let func: Vec<_> = cone
+            .iter()
+            .copied()
+            .filter(|&(k, _)| k != alarm_index)
+            .collect();
+        if func.is_empty() {
+            // the fault cannot reach any functional output, so silent
+            // corruption is structurally impossible
+            solver.add_clause([guard]);
+            proven += 1;
+            continue;
         }
+        // the faulty design's alarm: its cone literal if the fault can
+        // reach the alarm, the shared good literal otherwise
+        let alarm_lit = cone
+            .iter()
+            .find(|&&(k, _)| k == alarm_index)
+            .map(|&(_, l)| l)
+            .unwrap_or_else(|| good.output_vars[alarm_index].pos());
         // some functional output differs
+        let mut gated = GatedCnf::new(&mut solver, guard);
         let mut diffs = Vec::new();
-        for (k, (&og, &ob)) in good.output_vars.iter().zip(&bad.output_vars).enumerate() {
-            if k == alarm_index {
-                continue;
-            }
-            let d = cnf.new_var().pos();
-            cnf.gate_xor(d, og.pos(), ob.pos());
+        for &(k, flit) in &func {
+            let d = gated.new_var().pos();
+            let good_out = good.output_vars[k].pos();
+            gated.gate_xor(d, good_out, flit);
             diffs.push(d);
         }
-        let any = cnf.new_var().pos();
-        for &d in &diffs {
-            cnf.add_clause([any, !d]);
-        }
-        let mut big = diffs;
-        big.push(!any);
-        cnf.add_clause(big);
-        // and the (faulty design's) alarm stays low
-        let alarm = bad.output_vars[alarm_index];
-        let mut solver = Solver::from_cnf(&cnf);
-        match solver.solve_with_assumptions(&[any, alarm.neg()]) {
+        gated.add_clause(diffs);
+        // ... while the alarm stays low
+        match solver.solve_with_assumptions(&[sel.pos(), !alarm_lit]) {
             SatResult::Unsat => proven += 1,
             SatResult::Sat(model) => {
                 let witness = good.input_vars.iter().map(|v| model[v.index()]).collect();
                 violations.push((fault, witness));
             }
         }
+        solver.add_clause([guard]);
     }
     Ok(DetectionProof {
         proven,

@@ -32,4 +32,11 @@ echo "==> BENCH_fault_sim.json is valid JSON"
 cargo run --release --offline -p seceda-bench --bin check_json -- \
     "${CARGO_TARGET_DIR:-target}/BENCH_fault_sim.json"
 
+echo "==> sat-attack bench smoke run (quick mode)"
+SECEDA_BENCH_QUICK=1 cargo bench --offline --bench sat_attack > /dev/null
+
+echo "==> BENCH_sat_attack.json is valid JSON"
+cargo run --release --offline -p seceda-bench --bin check_json -- \
+    "${CARGO_TARGET_DIR:-target}/BENCH_sat_attack.json"
+
 echo "==> verify OK"
