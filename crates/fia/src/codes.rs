@@ -72,7 +72,7 @@ pub fn duplicate_with_compare(nl: &Netlist) -> ProtectedNetlist {
         .inputs()
         .iter()
         .map(|&pi| {
-            let name = nl.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
+            let name = nl.net_label(pi);
             out.add_input(name)
         })
         .collect();
@@ -112,7 +112,7 @@ pub fn triplicate_with_vote(nl: &Netlist) -> ProtectedNetlist {
         .inputs()
         .iter()
         .map(|&pi| {
-            let name = nl.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
+            let name = nl.net_label(pi);
             out.add_input(name)
         })
         .collect();
@@ -189,7 +189,7 @@ pub fn parity_protect(nl: &Netlist) -> ProtectedNetlist {
         .inputs()
         .iter()
         .map(|&pi| {
-            let name = nl.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
+            let name = nl.net_label(pi);
             out.add_input(name)
         })
         .collect();

@@ -61,7 +61,7 @@ pub fn camouflage(nl: &Netlist, count: usize, seed: u64) -> CamouflagedNetlist {
     let mut view = Netlist::new(format!("{}_camo", nl.name()));
     let mut map = vec![None; nl.num_nets()];
     for &pi in nl.inputs() {
-        let name = nl.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
+        let name = nl.net_label(pi);
         map[pi.index()] = Some(view.add_input(name));
     }
     // key inputs appended after functional inputs, two per cell

@@ -148,7 +148,7 @@ pub fn mux_lock(nl: &Netlist, key_bits: usize, seed: u64) -> LockedNetlist {
         // fix the select line: insert_after made inputs [target, a, b];
         // we need [key, a_leg, b_leg]
         let gid = locked.net(mux).driver.expect("mux driver");
-        locked.gate_mut(gid).inputs = vec![key_in, a_leg, b_leg];
+        locked.gate_mut(gid).inputs = [key_in, a_leg, b_leg].into();
         correct_key.push(bit);
     }
     LockedNetlist {

@@ -101,8 +101,8 @@ pub fn verify_watermark(nl: &Netlist, watermark: &Watermark) -> usize {
             let g2 = &nl.gates()[cursor + 1];
             if g1.kind == kind
                 && g2.kind == kind
-                && g1.inputs == vec![expected_target]
-                && g2.inputs == vec![g1.output]
+                && g1.inputs[..] == [expected_target]
+                && g2.inputs[..] == [g1.output]
             {
                 recovered += 1;
             }

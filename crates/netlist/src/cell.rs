@@ -2,6 +2,8 @@
 
 use crate::id::NetId;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
 
 /// The kind of a gate instance.
 ///
@@ -214,13 +216,142 @@ impl GateTags {
     }
 }
 
+/// Number of gate inputs stored inline (without a heap allocation) by
+/// [`InputList`]. Covers every fixed-arity cell (`Not`/`Buf`/`Dff` = 1,
+/// `Mux` = 3) and the overwhelmingly common 2-input instances of the
+/// n-ary kinds, plus the 3-input XOR/majority idioms of the adders.
+pub const INLINE_INPUTS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum InputRepr {
+    Inline {
+        len: u8,
+        buf: [NetId; INLINE_INPUTS],
+    },
+    Heap(Vec<NetId>),
+}
+
+/// The input nets of one gate, stored inline for up to
+/// [`INLINE_INPUTS`] entries and spilled to the heap only for wider
+/// gates.
+///
+/// At 10^5–10^6 gates, per-gate `Vec<NetId>` allocations dominated
+/// netlist construction; this container removes them for the common
+/// case while dereferencing to `[NetId]`, so existing slice-style
+/// access (`g.inputs.iter()`, `g.inputs[0]`, `g.inputs.len()`) keeps
+/// working unchanged.
+#[derive(Clone)]
+pub struct InputList(InputRepr);
+
+impl InputList {
+    /// Builds a list from a slice, choosing inline storage when it fits.
+    pub fn from_slice(inputs: &[NetId]) -> Self {
+        if inputs.len() <= INLINE_INPUTS {
+            let mut buf = [NetId(0); INLINE_INPUTS];
+            buf[..inputs.len()].copy_from_slice(inputs);
+            InputList(InputRepr::Inline {
+                len: inputs.len() as u8,
+                buf,
+            })
+        } else {
+            InputList(InputRepr::Heap(inputs.to_vec()))
+        }
+    }
+
+    /// The inputs as a slice, in positional order.
+    pub fn as_slice(&self) -> &[NetId] {
+        match &self.0 {
+            InputRepr::Inline { len, buf } => &buf[..*len as usize],
+            InputRepr::Heap(v) => v,
+        }
+    }
+
+    /// The inputs as a mutable slice (rewiring passes redirect entries
+    /// in place; the arity of a gate never changes after creation).
+    pub fn as_mut_slice(&mut self) -> &mut [NetId] {
+        match &mut self.0 {
+            InputRepr::Inline { len, buf } => &mut buf[..*len as usize],
+            InputRepr::Heap(v) => v,
+        }
+    }
+}
+
+impl Deref for InputList {
+    type Target = [NetId];
+    fn deref(&self) -> &[NetId] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for InputList {
+    fn deref_mut(&mut self) -> &mut [NetId] {
+        self.as_mut_slice()
+    }
+}
+
+impl From<&[NetId]> for InputList {
+    fn from(inputs: &[NetId]) -> Self {
+        InputList::from_slice(inputs)
+    }
+}
+
+impl From<Vec<NetId>> for InputList {
+    fn from(inputs: Vec<NetId>) -> Self {
+        // canonicalize: short lists always live inline so equality and
+        // hashing never depend on how the list was built
+        InputList::from_slice(&inputs)
+    }
+}
+
+impl<const N: usize> From<[NetId; N]> for InputList {
+    fn from(inputs: [NetId; N]) -> Self {
+        InputList::from_slice(&inputs)
+    }
+}
+
+impl PartialEq for InputList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for InputList {}
+
+impl Hash for InputList {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for InputList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a InputList {
+    type Item = &'a NetId;
+    type IntoIter = std::slice::Iter<'a, NetId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut InputList {
+    type Item = &'a mut NetId;
+    type IntoIter = std::slice::IterMut<'a, NetId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
 /// A gate instance: a cell kind, its input nets, and its output net.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Gate {
     /// The cell function.
     pub kind: CellKind,
     /// Input nets, in positional order (see [`CellKind`] for semantics).
-    pub inputs: Vec<NetId>,
+    pub inputs: InputList,
     /// The single output net driven by this gate.
     pub output: NetId,
     /// Security markers.
@@ -267,6 +398,37 @@ mod tests {
             assert_eq!(CellKind::from_mnemonic(&kind.to_string()), Some(kind));
         }
         assert_eq!(CellKind::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn input_list_inline_and_heap_agree() {
+        let ids: Vec<NetId> = (0..7).map(NetId::from_index).collect();
+        let short = InputList::from_slice(&ids[..3]);
+        let wide = InputList::from_slice(&ids);
+        assert_eq!(short.len(), 3);
+        assert_eq!(wide.len(), 7);
+        assert_eq!(&short[..], &ids[..3]);
+        assert_eq!(&wide[..], &ids[..]);
+        // canonical representation: a short Vec converts to the same
+        // (inline) value as a slice build
+        let via_vec: InputList = ids[..3].to_vec().into();
+        assert_eq!(short, via_vec);
+        let mut hs = std::collections::HashSet::new();
+        hs.insert(short.clone());
+        assert!(hs.contains(&via_vec));
+    }
+
+    #[test]
+    fn input_list_mutation_in_place() {
+        let ids: Vec<NetId> = (0..4).map(NetId::from_index).collect();
+        let mut l = InputList::from_slice(&ids);
+        l[2] = NetId::from_index(9);
+        for x in &mut l {
+            if x.index() == 9 {
+                *x = NetId::from_index(11);
+            }
+        }
+        assert_eq!(l[2], NetId::from_index(11));
     }
 
     #[test]

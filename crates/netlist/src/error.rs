@@ -33,6 +33,8 @@ pub enum NetlistError {
         /// Provided number of bits.
         got: usize,
     },
+    /// A design file could not be read (or its format recognized).
+    Io(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -50,6 +52,7 @@ impl fmt::Display for NetlistError {
             NetlistError::WidthMismatch { expected, got } => {
                 write!(f, "expected {expected} input bits, got {got}")
             }
+            NetlistError::Io(message) => write!(f, "io error: {message}"),
         }
     }
 }

@@ -11,6 +11,17 @@
 //! circuits (ISCAS c17, ripple adders, comparators, ALU slices) used as
 //! workloads throughout the experiment harness.
 //!
+//! Real designs enter through the frontend in [`mod@parse`]: an
+//! ISCAS-85/89 `.bench` reader/writer ([`parse_bench`] /
+//! [`write_bench`]) and a structural-Verilog subset reader
+//! ([`parse_verilog`]), with extension-based dispatch via
+//! [`parse_design_path`]. Net names are interned ([`Symbol`] /
+//! [`SymbolTable`]), gate inputs use inline small-vector storage
+//! ([`InputList`]), and fanout/topological traversals are iterative
+//! over a compressed sparse row [`Fanout`] — so 10^5–10^6-gate designs
+//! parse and analyze in O(n) without recursion or per-gate heap
+//! traffic.
+//!
 //! # Example
 //!
 //! ```
@@ -30,16 +41,22 @@ mod cell;
 mod error;
 mod id;
 mod netlist;
+pub mod parse;
 mod random;
 mod stats;
+mod symbol;
 mod text;
 
 pub use bench_circuits::{alu_slice, c17, comparator, majority, parity_tree, ripple_adder};
 pub use build::{bits_to_u64, u64_to_bits, Word};
-pub use cell::{CellKind, Gate, GateTags};
+pub use cell::{CellKind, Gate, GateTags, InputList, INLINE_INPUTS};
 pub use error::NetlistError;
 pub use id::{GateId, NetId};
-pub use netlist::{Net, Netlist};
+pub use netlist::{Fanout, Net, Netlist};
+pub use parse::{
+    parse_bench, parse_design, parse_design_path, parse_verilog, write_bench, DesignFormat,
+};
 pub use random::{random_circuit, RandomCircuitConfig};
 pub use stats::{DepthReport, NetlistStats};
+pub use symbol::{Symbol, SymbolTable};
 pub use text::{format_netlist, parse_netlist};

@@ -1,17 +1,45 @@
 //! The [`Netlist`] container and its construction / query / evaluation API.
 
-use crate::cell::{CellKind, Gate, GateTags};
+use crate::cell::{CellKind, Gate, GateTags, InputList};
 use crate::error::NetlistError;
 use crate::id::{GateId, NetId};
+use crate::symbol::{Symbol, SymbolTable};
 
 /// A single-bit signal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Net {
-    /// Optional user-facing name (primary ports always have one).
-    pub name: Option<String>,
+    /// Optional user-facing name, interned in the owning netlist's
+    /// [`SymbolTable`] (primary ports always have one). Resolve it with
+    /// [`Netlist::net_name`] or [`SymbolTable::resolve`].
+    pub name: Option<Symbol>,
     /// The gate driving this net, if any. Primary inputs and dangling nets
     /// have no driver.
     pub driver: Option<GateId>,
+}
+
+/// Per-net fanout in compressed sparse row form: one flat load array
+/// plus offsets, instead of one `Vec` per net.
+///
+/// Built in two O(n) passes by [`Netlist::fanout`]; at 10^6 gates this
+/// replaces a million small allocations with two.
+#[derive(Debug, Clone)]
+pub struct Fanout {
+    offsets: Vec<u32>,
+    loads: Vec<GateId>,
+}
+
+impl Fanout {
+    /// The gates reading `net`, in gate-creation order (a gate reading
+    /// the same net through several pins appears once per pin).
+    pub fn loads(&self, net: NetId) -> &[GateId] {
+        let i = net.index();
+        &self.loads[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total number of (net, reader) edges.
+    pub fn num_edges(&self) -> usize {
+        self.loads.len()
+    }
 }
 
 /// A flat gate-level netlist.
@@ -36,13 +64,44 @@ pub struct Net {
 /// nl.mark_output(carry, "carry");
 /// assert_eq!(nl.evaluate(&[true, true]), vec![false, true]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Netlist {
     name: String,
+    symbols: SymbolTable,
     nets: Vec<Net>,
     gates: Vec<Gate>,
     inputs: Vec<NetId>,
     outputs: Vec<(NetId, String)>,
+}
+
+/// Structural equality: two netlists are equal when they have the same
+/// design name, the same nets in the same order with the same drivers,
+/// the same gates (kind, input/output ids, tags), the same primary
+/// inputs (ids *and* port names), and the same primary outputs (ids and
+/// port names).
+///
+/// Names of *internal* nets are intentionally not compared: they are
+/// debugging metadata, and frontends (e.g. the `.bench` writer/parser
+/// pair) may synthesize labels for unnamed nets without changing the
+/// circuit.
+impl PartialEq for Netlist {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.nets.len() == other.nets.len()
+            && self.gates == other.gates
+            && self.outputs == other.outputs
+            && self.inputs == other.inputs
+            && self
+                .nets
+                .iter()
+                .zip(&other.nets)
+                .all(|(a, b)| a.driver == b.driver)
+            && self
+                .inputs
+                .iter()
+                .zip(&other.inputs)
+                .all(|(&a, &b)| self.net_name(a) == other.net_name(b))
+    }
 }
 
 impl Netlist {
@@ -50,11 +109,21 @@ impl Netlist {
     pub fn new(name: impl Into<String>) -> Self {
         Netlist {
             name: name.into(),
+            symbols: SymbolTable::new(),
             nets: Vec::new(),
             gates: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
         }
+    }
+
+    /// Creates an empty netlist with pre-sized net and gate arrays
+    /// (parsers know the design size up front).
+    pub fn with_capacity(name: impl Into<String>, nets: usize, gates: usize) -> Self {
+        let mut nl = Netlist::new(name);
+        nl.nets.reserve(nets);
+        nl.gates.reserve(gates);
+        nl
     }
 
     /// The design name.
@@ -65,6 +134,30 @@ impl Netlist {
     /// Renames the design.
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();
+    }
+
+    /// The interned name table shared by all nets of this design.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Interns `name` in this netlist's symbol table.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.symbols.intern(name)
+    }
+
+    /// The name of `net`, if it has one.
+    pub fn net_name(&self, id: NetId) -> Option<&str> {
+        self.nets[id.index()].name.map(|s| self.symbols.resolve(s))
+    }
+
+    /// A printable label for `net`: its name, or `n<index>` for unnamed
+    /// nets.
+    pub fn net_label(&self, id: NetId) -> String {
+        match self.net_name(id) {
+            Some(name) => name.to_string(),
+            None => id.to_string(),
+        }
     }
 
     /// Adds a fresh, undriven, unnamed net and returns its id.
@@ -80,8 +173,19 @@ impl Netlist {
     /// Adds a fresh named net (undriven) and returns its id.
     pub fn add_named_net(&mut self, name: impl Into<String>) -> NetId {
         let id = self.add_net();
-        self.nets[id.index()].name = Some(name.into());
+        let sym = self.symbols.intern(&name.into());
+        self.nets[id.index()].name = Some(sym);
         id
+    }
+
+    /// Names (or renames) an existing net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn set_net_name(&mut self, net: NetId, name: &str) {
+        let sym = self.symbols.intern(name);
+        self.nets[net.index()].name = Some(sym);
     }
 
     /// Declares a new primary input with the given port name.
@@ -89,6 +193,22 @@ impl Netlist {
         let id = self.add_named_net(name);
         self.inputs.push(id);
         id
+    }
+
+    /// Promotes an existing undriven net to a primary input (parsers
+    /// see forward references to a signal before its `INPUT`
+    /// declaration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] if the net is driven
+    /// by a gate or already declared as an input.
+    pub fn promote_input(&mut self, net: NetId) -> Result<(), NetlistError> {
+        if self.nets[net.index()].driver.is_some() || self.inputs.contains(&net) {
+            return Err(NetlistError::MultipleDrivers(self.net_label(net)));
+        }
+        self.inputs.push(net);
+        Ok(())
     }
 
     /// Adds a gate of `kind` reading `inputs`, creating and returning its
@@ -117,12 +237,59 @@ impl Netlist {
         let gid = GateId::from_index(self.gates.len());
         self.gates.push(Gate {
             kind,
-            inputs: inputs.to_vec(),
+            inputs: InputList::from_slice(inputs),
             output,
             tags,
         });
         self.nets[output.index()].driver = Some(gid);
         output
+    }
+
+    /// Adds a gate that drives an *existing* net instead of creating a
+    /// fresh one. This is the primitive behind name-based frontends,
+    /// where a signal may be referenced (creating its net) before the
+    /// line defining its driver is seen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] on an input-count violation,
+    /// [`NetlistError::UnknownNet`] if any id is out of range, and
+    /// [`NetlistError::MultipleDrivers`] if `output` is already driven
+    /// or is a primary input.
+    pub fn try_add_gate_driving(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+        output: NetId,
+        tags: GateTags,
+    ) -> Result<GateId, NetlistError> {
+        let (lo, hi) = kind.arity();
+        if inputs.len() < lo || inputs.len() > hi {
+            return Err(NetlistError::BadArity {
+                kind: kind.to_string(),
+                got: inputs.len(),
+            });
+        }
+        for &i in inputs {
+            if i.index() >= self.nets.len() {
+                return Err(NetlistError::UnknownNet(i.to_string()));
+            }
+        }
+        if output.index() >= self.nets.len() {
+            return Err(NetlistError::UnknownNet(output.to_string()));
+        }
+        if self.nets[output.index()].driver.is_some() || self.inputs.contains(&output) {
+            return Err(NetlistError::MultipleDrivers(self.net_label(output)));
+        }
+        let gid = GateId::from_index(self.gates.len());
+        self.gates.push(Gate {
+            kind,
+            inputs: InputList::from_slice(inputs),
+            output,
+            tags,
+        });
+        self.nets[output.index()].driver = Some(gid);
+        Ok(gid)
     }
 
     /// Registers `net` as a primary output under `name`.
@@ -220,6 +387,9 @@ impl Netlist {
     }
 
     /// Per-net fanout: for each net, the gates reading it.
+    ///
+    /// Allocates one `Vec` per net; prefer the CSR [`Netlist::fanout`]
+    /// in code that must scale to 10^5+ gates.
     pub fn fanout_map(&self) -> Vec<Vec<GateId>> {
         let mut map = vec![Vec::new(); self.nets.len()];
         for (i, g) in self.gates.iter().enumerate() {
@@ -230,8 +400,36 @@ impl Netlist {
         map
     }
 
+    /// Per-net fanout in compressed sparse row form (two allocations
+    /// total): counting pass, prefix sum, fill pass.
+    pub fn fanout(&self) -> Fanout {
+        let mut offsets = vec![0u32; self.nets.len() + 1];
+        for g in &self.gates {
+            for &inp in &g.inputs {
+                offsets[inp.index() + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..self.nets.len()].to_vec();
+        let mut loads = vec![GateId::from_index(0); offsets[self.nets.len()] as usize];
+        for (i, g) in self.gates.iter().enumerate() {
+            for &inp in &g.inputs {
+                let c = &mut cursor[inp.index()];
+                loads[*c as usize] = GateId::from_index(i);
+                *c += 1;
+            }
+        }
+        Fanout { offsets, loads }
+    }
+
     /// Topological order of the *combinational* gates (DFFs excluded; DFF
     /// outputs are treated as sources, like primary inputs).
+    ///
+    /// Fully iterative (Kahn's algorithm over the CSR fanout), so depth
+    /// is bounded by memory, not the call stack — 10^6-gate chains sort
+    /// without recursion.
     ///
     /// # Errors
     ///
@@ -261,12 +459,12 @@ impl Netlist {
                 ready.push(i);
             }
         }
-        let fanout = self.fanout_map();
+        let fanout = self.fanout();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = ready.pop() {
             order.push(GateId::from_index(i));
             let out = self.gates[i].output;
-            for &succ in &fanout[out.index()] {
+            for &succ in fanout.loads(out) {
                 let s = succ.index();
                 if self.gates[s].kind.is_sequential() {
                     continue;
@@ -286,6 +484,47 @@ impl Netlist {
             return Err(NetlistError::CombinationalCycle);
         }
         Ok(order)
+    }
+
+    /// The transitive fan-in cone of `roots`: every gate on some path
+    /// from a source (primary input, constant, or DFF output) to a root
+    /// net, returned in ascending gate-id order.
+    ///
+    /// Iterative worklist traversal — no recursion, so arbitrarily deep
+    /// cones of 10^5+ gates extract without stack overflow. Traversal
+    /// stops at DFFs (their outputs are sources), but a DFF whose
+    /// output is itself a root is included.
+    pub fn fanin_cone(&self, roots: &[NetId]) -> Vec<GateId> {
+        let mut in_cone = vec![false; self.gates.len()];
+        let mut work: Vec<GateId> = Vec::new();
+        for &root in roots {
+            if let Some(gid) = self.nets[root.index()].driver {
+                if !in_cone[gid.index()] {
+                    in_cone[gid.index()] = true;
+                    work.push(gid);
+                }
+            }
+        }
+        while let Some(gid) = work.pop() {
+            let g = &self.gates[gid.index()];
+            if g.kind.is_sequential() {
+                continue; // state boundary: the cone stops here
+            }
+            for &inp in &g.inputs {
+                if let Some(drv) = self.nets[inp.index()].driver {
+                    if !in_cone[drv.index()] {
+                        in_cone[drv.index()] = true;
+                        work.push(drv);
+                    }
+                }
+            }
+        }
+        in_cone
+            .iter()
+            .enumerate()
+            .filter(|&(_, &x)| x)
+            .map(|(i, _)| GateId::from_index(i))
+            .collect()
     }
 
     /// Evaluates every net for one cycle.
@@ -599,6 +838,108 @@ mod tests {
                 got: 1
             })
         ));
+    }
+
+    #[test]
+    fn csr_fanout_matches_map() {
+        let nl = full_adder();
+        let map = nl.fanout_map();
+        let csr = nl.fanout();
+        for i in 0..nl.num_nets() {
+            assert_eq!(map[i], csr.loads(NetId::from_index(i)), "net {i}");
+        }
+        assert_eq!(csr.num_edges(), map.iter().map(Vec::len).sum::<usize>());
+    }
+
+    #[test]
+    fn fanin_cone_stops_at_sources() {
+        let nl = full_adder();
+        // cone of the sum output: just the XOR gate
+        let sum_net = nl.outputs()[0].0;
+        assert_eq!(nl.fanin_cone(&[sum_net]), vec![GateId::from_index(0)]);
+        // cone of cout: the three ANDs and the OR
+        let cout_net = nl.outputs()[1].0;
+        assert_eq!(nl.fanin_cone(&[cout_net]).len(), 4);
+        // both roots: everything
+        assert_eq!(nl.fanin_cone(&[sum_net, cout_net]).len(), 5);
+        // a primary input has an empty cone
+        assert_eq!(nl.fanin_cone(&[nl.inputs()[0]]), vec![]);
+    }
+
+    #[test]
+    fn gate_driving_existing_net() {
+        let mut nl = Netlist::new("fwd");
+        let a = nl.add_input("a");
+        let fwd = nl.add_named_net("y"); // referenced before defined
+        let top = nl.add_gate(CellKind::Not, &[fwd]);
+        nl.mark_output(top, "z");
+        let gid = nl
+            .try_add_gate_driving(CellKind::Buf, &[a], fwd, GateTags::default())
+            .expect("drive forward net");
+        assert_eq!(nl.net(fwd).driver, Some(gid));
+        assert_eq!(nl.validate(), Ok(()));
+        assert_eq!(nl.evaluate(&[true]), vec![false]);
+        // a second driver on the same net is rejected
+        assert_eq!(
+            nl.try_add_gate_driving(CellKind::Buf, &[a], fwd, GateTags::default()),
+            Err(NetlistError::MultipleDrivers("y".into()))
+        );
+        // driving a primary input is rejected
+        assert_eq!(
+            nl.try_add_gate_driving(CellKind::Not, &[fwd], a, GateTags::default()),
+            Err(NetlistError::MultipleDrivers("a".into()))
+        );
+    }
+
+    #[test]
+    fn promote_input_checks_driver() {
+        let mut nl = Netlist::new("p");
+        let fwd = nl.add_named_net("x");
+        assert_eq!(nl.promote_input(fwd), Ok(()));
+        assert_eq!(nl.inputs(), &[fwd]);
+        assert_eq!(
+            nl.promote_input(fwd),
+            Err(NetlistError::MultipleDrivers("x".into()))
+        );
+        let g = nl.add_gate(CellKind::Not, &[fwd]);
+        assert!(matches!(
+            nl.promote_input(g),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
+    }
+
+    #[test]
+    fn interned_names_resolve() {
+        let mut nl = Netlist::new("n");
+        let a = nl.add_input("a");
+        let x = nl.add_gate(CellKind::Not, &[a]);
+        assert_eq!(nl.net_name(a), Some("a"));
+        assert_eq!(nl.net_name(x), None);
+        assert_eq!(nl.net_label(a), "a");
+        assert_eq!(nl.net_label(x), "n1");
+        nl.set_net_name(x, "inv_a");
+        assert_eq!(nl.net_name(x), Some("inv_a"));
+        // interning the same string twice yields one symbol
+        let mut nl2 = Netlist::new("m");
+        let s1 = nl2.intern("shared");
+        let s2 = nl2.intern("shared");
+        assert_eq!(s1, s2);
+        assert_eq!(nl2.symbols().len(), 1);
+    }
+
+    #[test]
+    fn equality_ignores_internal_net_names() {
+        let mut a = full_adder();
+        let mut b = full_adder();
+        assert_eq!(a, b);
+        // naming an internal net does not break equality
+        let int = a.gates()[0].output;
+        a.set_net_name(int, "sum_wire");
+        assert_eq!(a, b);
+        // but renaming a primary input does
+        let pi = b.inputs()[0];
+        b.set_net_name(pi, "other");
+        assert_ne!(a, b);
     }
 
     #[test]

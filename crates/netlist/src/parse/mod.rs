@@ -1,0 +1,128 @@
+//! Real-design frontend: parsers for standard netlist interchange
+//! formats.
+//!
+//! Two formats are supported, both producing the ordinary [`Netlist`]:
+//!
+//! - **ISCAS-85/89 `.bench`** ([`parse_bench`]) — `INPUT(x)` /
+//!   `OUTPUT(y)` declarations plus `sig = KIND(a, b, ...)` gate lines,
+//!   with a matching writer ([`write_bench`]) used for roundtrip
+//!   testing and for exporting generated circuits.
+//! - **Structural Verilog** ([`parse_verilog`]) — a gate-level subset:
+//!   one `module`, scalar `input`/`output`/`wire` declarations,
+//!   primitive gate instantiations (`nand g1 (y, a, b);`), and simple
+//!   `assign` aliases. See the [`verilog`] module docs for the exact
+//!   subset.
+//!
+//! Both parsers are single-pass, name-resolving (forward references
+//! are legal), fully iterative, and return typed [`NetlistError`]s on
+//! malformed input — they never panic. Signal names are interned in
+//! the netlist's symbol table as they are seen, so a 10^6-gate design
+//! parses with O(n) work and no per-net string duplication.
+
+mod bench;
+mod verilog;
+
+pub use bench::{parse_bench, write_bench};
+pub use verilog::parse_verilog;
+
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+use std::path::Path;
+
+/// A netlist interchange format understood by [`parse_design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignFormat {
+    /// ISCAS-85/89 `.bench`.
+    Bench,
+    /// Structural (gate-level) Verilog.
+    Verilog,
+    /// The crate's own line-oriented text format (see [`crate::parse_netlist`]).
+    Text,
+}
+
+impl DesignFormat {
+    /// Guesses the format from a file extension (`bench`, `v`, `txt`/`snl`).
+    pub fn from_extension(ext: &str) -> Option<DesignFormat> {
+        match ext.to_ascii_lowercase().as_str() {
+            "bench" => Some(DesignFormat::Bench),
+            "v" | "vg" => Some(DesignFormat::Verilog),
+            "txt" | "snl" => Some(DesignFormat::Text),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `text` in the given format.
+///
+/// # Errors
+///
+/// Propagates the format parser's [`NetlistError`].
+pub fn parse_design(text: &str, format: DesignFormat) -> Result<Netlist, NetlistError> {
+    match format {
+        DesignFormat::Bench => parse_bench(text),
+        DesignFormat::Verilog => parse_verilog(text),
+        DesignFormat::Text => crate::text::parse_netlist(text),
+    }
+}
+
+/// Reads and parses a design file, picking the format from its
+/// extension. If the parsed design carries no name of its own, the
+/// file stem becomes the design name.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] for unreadable files or unknown
+/// extensions, and the format parser's errors otherwise.
+pub fn parse_design_path(path: impl AsRef<Path>) -> Result<Netlist, NetlistError> {
+    let path = path.as_ref();
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let format = DesignFormat::from_extension(ext).ok_or_else(|| {
+        NetlistError::Io(format!(
+            "unknown design extension `{ext}` (expected .bench, .v, or .txt): {}",
+            path.display()
+        ))
+    })?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| NetlistError::Io(format!("{}: {e}", path.display())))?;
+    let mut nl = parse_design(&text, format)?;
+    if nl.name() == bench::DEFAULT_DESIGN_NAME {
+        if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+            nl.set_name(stem);
+        }
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_dispatch() {
+        assert_eq!(
+            DesignFormat::from_extension("bench"),
+            Some(DesignFormat::Bench)
+        );
+        assert_eq!(
+            DesignFormat::from_extension("BENCH"),
+            Some(DesignFormat::Bench)
+        );
+        assert_eq!(
+            DesignFormat::from_extension("v"),
+            Some(DesignFormat::Verilog)
+        );
+        assert_eq!(
+            DesignFormat::from_extension("txt"),
+            Some(DesignFormat::Text)
+        );
+        assert_eq!(DesignFormat::from_extension("edif"), None);
+    }
+
+    #[test]
+    fn missing_file_is_typed_io_error() {
+        let err = parse_design_path("/nonexistent/x.bench").unwrap_err();
+        assert!(matches!(err, NetlistError::Io(_)));
+        let err = parse_design_path("/nonexistent/x.weird").unwrap_err();
+        assert!(matches!(err, NetlistError::Io(_)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Interned signal names.
+//!
+//! Real benchmark designs name every net; storing those names as
+//! per-net `String`s costs a heap allocation and 24 bytes of inline
+//! storage per signal. A [`SymbolTable`] interns each distinct name
+//! once and hands out dense `u32` [`Symbol`]s, so a `Net` carries an
+//! `Option<Symbol>` (8 bytes, no allocation) and name equality is an
+//! integer compare.
+
+use std::collections::HashMap;
+
+/// An interned name: a dense index into the owning [`SymbolTable`].
+///
+/// Symbols are only meaningful relative to the table (and therefore the
+/// [`crate::Netlist`]) that produced them; resolve them back to text
+/// with [`SymbolTable::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the dense index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `Symbol` from a dense index (for per-symbol side tables).
+    pub fn from_index(index: usize) -> Self {
+        Symbol(u32::try_from(index).expect("symbol index overflow"))
+    }
+}
+
+/// A deduplicating string interner.
+///
+/// `intern` is amortized O(1); `resolve` is an array index. The table
+/// never forgets a string, so symbols stay valid for the lifetime of
+/// the owning netlist.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    strings: Vec<Box<str>>,
+    map: HashMap<Box<str>, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing symbol if the exact string
+    /// was interned before.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Symbol::from_index(self.strings.len());
+        let boxed: Box<str> = name.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// The string behind `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different table and is out of range.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Looks up a name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Returns `true` if nothing was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        let a2 = t.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), "alpha");
+        assert_eq!(t.resolve(b), "beta");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup("x"), None);
+        let x = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(x));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let mut t = SymbolTable::new();
+        for i in 0..100 {
+            let s = t.intern(&format!("n{i}"));
+            assert_eq!(s.index(), i);
+        }
+    }
+}

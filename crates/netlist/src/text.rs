@@ -24,12 +24,21 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Serializes a netlist to the structural text format.
+///
+/// Port names are resolved through the interned symbol table — no
+/// per-net `String` clones on the way out.
 pub fn format_netlist(nl: &Netlist) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "design {}", nl.name());
     for &pi in nl.inputs() {
-        let name = nl.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
-        let _ = writeln!(out, "input {name} {pi}");
+        match nl.net_name(pi) {
+            Some(name) => {
+                let _ = writeln!(out, "input {name} {pi}");
+            }
+            None => {
+                let _ = writeln!(out, "input {pi} {pi}");
+            }
+        }
     }
     for g in nl.gates() {
         let _ = write!(out, "gate {} = {}", g.output, g.kind);
@@ -235,6 +244,23 @@ mod tests {
         let nl = parse_netlist("# a comment\ndesign x\n\ninput a n0\noutput y n0\n").expect("ok");
         assert_eq!(nl.inputs().len(), 1);
         assert_eq!(nl.outputs().len(), 1);
+    }
+
+    #[test]
+    fn format_is_pinned() {
+        // regression: the exact text emitted for a known netlist; any
+        // change to the display path must update this golden string
+        let text = format_netlist(&sample());
+        assert_eq!(
+            text,
+            "design ha\n\
+             input a n0\n\
+             input b n1\n\
+             gate n2 = xor n0 n1\n\
+             gate n3 = and n0 n1 !barrier\n\
+             output sum n2\n\
+             output carry n3\n"
+        );
     }
 
     #[test]

@@ -1,0 +1,16 @@
+// ISCAS-85 c17, gate-level structural Verilog.
+// Declaration order (inputs, wires, outputs) mirrors the net-creation
+// order of the in-process c17() builder so the parsed netlist is
+// id-for-id identical to it.
+module c17 (G1, G2, G3, G6, G7, G22, G23);
+  input G1, G2, G3, G6, G7;
+  wire G10, G11, G16, G19;
+  output G22, G23;
+
+  nand g0 (G10, G1, G3);
+  nand g1 (G11, G3, G6);
+  nand g2 (G16, G2, G11);
+  nand g3 (G19, G11, G7);
+  nand g4 (G22, G10, G16);
+  nand g5 (G23, G16, G19);
+endmodule

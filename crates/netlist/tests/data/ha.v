@@ -1,0 +1,12 @@
+// Half adder with an assign alias and constant ties — exercises the
+// structural-Verilog subset beyond plain primitives.
+module ha (a, b, sum, carry, tie0);
+  input a, b;
+  output sum, carry, tie0;
+  wire s0;
+
+  xor u0 (s0, a, b);
+  assign sum = s0; /* alias becomes a BUF */
+  and u1 (carry, a, b);
+  assign tie0 = 1'b0;
+endmodule

@@ -1,0 +1,127 @@
+//! Roundtrip and robustness properties of the `.bench` frontend.
+//!
+//! Every built-in generator and every random netlist must survive
+//! write→parse with full structural equality, and arbitrarily mangled
+//! input must come back as a typed [`NetlistError`] — never a panic.
+
+use seceda_netlist::{
+    alu_slice, c17, comparator, majority, parity_tree, parse_bench, random_circuit, ripple_adder,
+    write_bench, Netlist, NetlistError, RandomCircuitConfig,
+};
+use seceda_testkit::prelude::*;
+
+fn roundtrip(nl: &Netlist) -> Netlist {
+    let text = write_bench(nl);
+    parse_bench(&text).unwrap_or_else(|e| panic!("reparse of {} failed: {e}", nl.name()))
+}
+
+#[test]
+fn all_builtin_generators_roundtrip_exactly() {
+    let circuits: Vec<Netlist> = vec![
+        c17(),
+        ripple_adder(8),
+        ripple_adder(16),
+        comparator(8),
+        parity_tree(16),
+        majority(),
+        alu_slice(4),
+    ];
+    for nl in circuits {
+        assert_eq!(roundtrip(&nl), nl, "{} roundtrip", nl.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_netlists_roundtrip_exactly(
+        num_inputs in 1usize..24,
+        num_gates in 1usize..400,
+        num_outputs in 1usize..12,
+        with_xor in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let nl = random_circuit(&RandomCircuitConfig {
+            num_inputs,
+            num_gates,
+            num_outputs,
+            with_xor,
+            seed,
+        });
+        prop_assert_eq!(roundtrip(&nl), nl);
+    }
+
+    #[test]
+    fn truncated_files_error_without_panicking(
+        num_gates in 1usize..120,
+        seed in any::<u64>(),
+        cut in 0usize..4096,
+    ) {
+        let nl = random_circuit(&RandomCircuitConfig {
+            num_inputs: 8,
+            num_gates,
+            num_outputs: 4,
+            with_xor: true,
+            seed,
+        });
+        let text = write_bench(&nl);
+        // cut mid-file at a char boundary: parse must return Ok or a
+        // typed error, never panic
+        let mut cut = cut % (text.len() + 1);
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = parse_bench(&text[..cut]);
+    }
+
+    #[test]
+    fn mutated_files_error_without_panicking(
+        seed in any::<u64>(),
+        pos in 0usize..4096,
+        replacement in 0u8..128,
+    ) {
+        let nl = random_circuit(&RandomCircuitConfig {
+            num_inputs: 6,
+            num_gates: 60,
+            num_outputs: 3,
+            with_xor: true,
+            seed,
+        });
+        let mut bytes = write_bench(&nl).into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = replacement;
+        if let Ok(text) = String::from_utf8(bytes) {
+            let _ = parse_bench(&text);
+        }
+    }
+}
+
+#[test]
+fn malformed_inputs_give_specific_typed_errors() {
+    // undefined net
+    assert_eq!(
+        parse_bench("INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n").unwrap_err(),
+        NetlistError::UnknownNet("ghost".into())
+    );
+    // duplicate driver
+    assert_eq!(
+        parse_bench("INPUT(a)\ny = NOT(a)\ny = BUFF(a)\n").unwrap_err(),
+        NetlistError::MultipleDrivers("y".into())
+    );
+    // combinational loop
+    assert_eq!(
+        parse_bench("INPUT(a)\nx = AND(a, y)\ny = NOT(x)\nOUTPUT(y)\n").unwrap_err(),
+        NetlistError::CombinationalCycle
+    );
+    // truncated gate line
+    assert!(matches!(
+        parse_bench("INPUT(a)\ny = NAND(a").unwrap_err(),
+        NetlistError::Parse { line: 2, .. }
+    ));
+    // arity violation
+    assert!(matches!(
+        parse_bench("INPUT(a)\ny = MUX(a, a)\nOUTPUT(y)\n").unwrap_err(),
+        NetlistError::BadArity { .. }
+    ));
+}

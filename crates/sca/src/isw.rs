@@ -105,7 +105,7 @@ pub fn mask_netlist(nl: &Netlist) -> MaskedNetlist {
 
     let mut shares: HashMap<usize, [NetId; NUM_SHARES]> = HashMap::new();
     for &pi in xag.inputs() {
-        let name = xag.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
+        let name = xag.net_label(pi);
         let triple = [
             out.add_input(format!("{name}_s0")),
             out.add_input(format!("{name}_s1")),

@@ -114,7 +114,7 @@ pub fn reassociate(nl: &Netlist, mode: SynthesisMode) -> (Netlist, ReassocReport
                     break;
                 }
                 tree_gates.push(net);
-                let ins = work.gate(gid).inputs.clone();
+                let ins = work.gate(gid).inputs.to_vec();
                 for i in ins {
                     stack.push((i, false));
                 }

@@ -17,7 +17,7 @@ impl Rebuilder {
         let mut out = Netlist::new(src.name());
         let mut map = vec![None; src.num_nets()];
         for &pi in src.inputs() {
-            let name = src.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
+            let name = src.net_label(pi);
             map[pi.index()] = Some(out.add_input(name));
         }
         Rebuilder { out, map }

@@ -59,7 +59,7 @@ pub fn wddl_transform(nl: &Netlist) -> WddlNetlist {
     let mut rails: HashMap<usize, (NetId, NetId)> = HashMap::new();
 
     for &pi in nl.inputs() {
-        let name = nl.net(pi).name.clone().unwrap_or_else(|| pi.to_string());
+        let name = nl.net_label(pi);
         let t = out.add_input(format!("{name}_t"));
         let f = out.add_input(format!("{name}_f"));
         rails.insert(pi.index(), (t, f));

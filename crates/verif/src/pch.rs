@@ -85,7 +85,7 @@ fn path_exists(nl: &Netlist, from_input: &str, to_output: &str) -> Option<bool> 
     let src: NetId = *nl
         .inputs()
         .iter()
-        .find(|&&n| nl.net(n).name.as_deref() == Some(from_input))?;
+        .find(|&&n| nl.net_name(n) == Some(from_input))?;
     let (dst, _) = nl
         .outputs()
         .iter()

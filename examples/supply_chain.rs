@@ -5,21 +5,37 @@
 //!
 //! ```sh
 //! cargo run --example supply_chain
+//! cargo run --example supply_chain -- path/to/design.bench
 //! ```
+//!
+//! With a design file argument, section 1 (locking vs the SAT attack)
+//! runs on the external design instead of the built-in c17.
 
 use seceda_dft::{scan_attack_recover_key, scan_victim, secure_scan_wrap};
 use seceda_layout::{
     lift_wires, place, proximity_attack, route, split_at, PlacementConfig, RouteConfig,
 };
 use seceda_lock::{output_corruption, sat_attack, sfll_hd0, xor_lock};
-use seceda_netlist::{c17, random_circuit, RandomCircuitConfig};
+use seceda_netlist::{c17, parse_design_path, random_circuit, RandomCircuitConfig};
 use seceda_trojan::{
     generate_mero_tests, insert_trojan, trigger_coverage, MeroConfig, TrojanConfig,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== 1. logic locking vs the SAT attack ===");
-    let nl = c17();
+    let nl = match std::env::args().nth(1) {
+        Some(path) => {
+            let parsed = parse_design_path(&path)?;
+            println!(
+                "external design {}: {} gates, {} inputs",
+                parsed.name(),
+                parsed.num_gates(),
+                parsed.inputs().len()
+            );
+            parsed
+        }
+        None => c17(),
+    };
     let xor = xor_lock(&nl, 8, 42);
     let corruption = output_corruption(&xor, 20, 20, 43);
     println!(
@@ -32,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  -> SAT attack recovers a working key in {} oracle queries",
         attack.iterations
     );
-    let sfll = sfll_hd0(&nl, &[true, false, true, true, false]);
+    let protected: Vec<bool> = (0..nl.inputs().len()).map(|i| i % 2 == 0).collect();
+    let sfll = sfll_hd0(&nl, &protected);
     let sfll_attack = sat_attack(&sfll, oracle)?.expect("key recovered");
     println!(
         "SFLL-HD0 resists: the attack needs {} queries (~2^inputs)",

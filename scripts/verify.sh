@@ -39,4 +39,18 @@ echo "==> BENCH_sat_attack.json is valid JSON"
 cargo run --release --offline -p seceda-bench --bin check_json -- \
     "${CARGO_TARGET_DIR:-target}/BENCH_sat_attack.json"
 
+echo "==> parse bench smoke run (quick mode)"
+SECEDA_BENCH_QUICK=1 cargo bench --offline --bench parse > /dev/null
+
+echo "==> BENCH_parse.json is valid JSON"
+cargo run --release --offline -p seceda-bench --bin check_json -- \
+    "${CARGO_TARGET_DIR:-target}/BENCH_parse.json"
+
+# Opt-in scale test: parse + analyze a 10^6-gate design end to end.
+if [ "${SECEDA_VERIFY_SCALE:-0}" != "0" ]; then
+    echo "==> frontend scale smoke (10^6 gates, SECEDA_VERIFY_SCALE=1)"
+    cargo test -q --release --offline -p seceda-sim \
+        --test parse_differential -- --ignored
+fi
+
 echo "==> verify OK"
