@@ -1,0 +1,144 @@
+//! `bench_report` — perf-regression gate over `BENCH_*.json` runs.
+//!
+//! Compares the fresh bench result files in `target/` (written by
+//! `cargo bench --bench {fault_sim,sat_attack,parse}`) against the
+//! committed `BENCH_baseline.json`, prints a per-case delta table on
+//! each bench's primary wall-time metric, and flags regressions beyond
+//! the noise tolerance.
+//!
+//! ```sh
+//! bench_report                      # delta table; advisory (exit 0)
+//! SECEDA_BENCH_STRICT=1 bench_report # exit 1 on any regression
+//! SECEDA_BENCH_TOL=0.4 bench_report  # widen tolerance to 40%
+//! bench_report --update-baseline     # fold fresh runs into the baseline
+//! bench_report --baseline other.json # compare against another baseline
+//! ```
+//!
+//! Timings are machine-dependent: the committed baseline reflects one
+//! reference machine, so the default mode only *warns* (this is what
+//! `scripts/verify.sh` runs). Strict mode is for same-machine A/B
+//! comparisons — a dedicated perf runner, or a developer re-running
+//! after an optimization.
+
+use seceda_bench::report::{
+    compare, gate_exit_code, has_regression, merge_baseline, parse_baseline, render_baseline,
+    render_table,
+};
+use seceda_bench::schema::validate_bench_text;
+use seceda_testkit::bench::target_dir;
+use seceda_testkit::json::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const BENCH_FILES: [&str; 3] = [
+    "BENCH_fault_sim.json",
+    "BENCH_sat_attack.json",
+    "BENCH_parse.json",
+];
+
+fn default_baseline_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_baseline.json"
+    ))
+}
+
+fn load_fresh() -> Result<Vec<Json>, String> {
+    let dir = target_dir();
+    let mut docs = Vec::new();
+    for name in BENCH_FILES {
+        let path = dir.join(name);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // that bench hasn't been run; compare what exists
+        };
+        validate_bench_text(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        docs.push(Json::parse(&text).expect("validated text parses"));
+    }
+    if docs.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json found in {} — run `SECEDA_BENCH_QUICK=1 cargo bench` first",
+            dir.display()
+        ));
+    }
+    Ok(docs)
+}
+
+fn run() -> Result<u8, String> {
+    let mut baseline_path = default_baseline_path();
+    let mut update = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update-baseline" => update = true,
+            "--baseline" => {
+                baseline_path = PathBuf::from(args.next().ok_or("--baseline needs a path")?);
+            }
+            "-h" | "--help" => {
+                println!(
+                    "usage: bench_report [--baseline <file>] [--update-baseline]\n\
+                     env: SECEDA_BENCH_TOL (default 0.25), SECEDA_BENCH_STRICT=1"
+                );
+                return Ok(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    let fresh = load_fresh()?;
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            parse_baseline(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+        }
+        Err(_) => Vec::new(), // no baseline yet: every row reports as new
+    };
+
+    if update {
+        let merged = merge_baseline(&baseline, &fresh);
+        std::fs::write(&baseline_path, render_baseline(&merged))
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        println!(
+            "updated {} ({} bench document(s))",
+            baseline_path.display(),
+            merged.len()
+        );
+        return Ok(0);
+    }
+
+    let tolerance: f64 = std::env::var("SECEDA_BENCH_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+        .unwrap_or(0.25);
+    let strict = std::env::var("SECEDA_BENCH_STRICT").is_ok_and(|v| v != "0");
+
+    let rows = compare(&fresh, &baseline);
+    print!("{}", render_table(&rows, tolerance));
+    if has_regression(&rows, tolerance) {
+        eprintln!(
+            "bench_report: regression(s) beyond {:.0}% tolerance{}",
+            tolerance * 100.0,
+            if strict {
+                ""
+            } else {
+                " (advisory — set SECEDA_BENCH_STRICT=1 to gate)"
+            }
+        );
+    } else {
+        println!(
+            "bench_report: no regression beyond {:.0}% tolerance ({} comparison(s))",
+            tolerance * 100.0,
+            rows.len()
+        );
+    }
+    Ok(gate_exit_code(&rows, tolerance, strict))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("bench_report: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

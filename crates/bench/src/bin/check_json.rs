@@ -1,31 +1,67 @@
-//! Validates that a file parses as JSON.
+//! Schema-aware validation of `BENCH_*.json` report files.
 //!
-//! Used by `scripts/verify.sh` to check the bench report files (e.g.
-//! `target/BENCH_fault_sim.json`) are well-formed without any external
-//! tooling (`jq`, `python`): the parser is the workspace's own
-//! `seceda_testkit::json`.
+//! Used by `scripts/verify.sh` to check bench reports (e.g.
+//! `target/BENCH_fault_sim.json`) without external tooling (`jq`,
+//! `python`). Beyond JSON well-formedness, each document is validated
+//! against its bench's schema (see `seceda_bench::schema`): `bench`,
+//! `quick`, and a non-empty `results` array whose rows carry exactly
+//! the required fields with the right types — a missing or unknown
+//! field fails with its JSON path, e.g. `results[2].packed_ns: missing`.
+//!
+//! Files whose name doesn't match `BENCH_*.json` (or with
+//! `--syntax-only`) are checked for JSON syntax only.
 
+use seceda_bench::schema::validate_bench_text;
 use seceda_testkit::json::Json;
+
+fn is_bench_report(path: &str) -> bool {
+    std::path::Path::new(path)
+        .file_name()
+        .and_then(|n| n.to_str())
+        // the baseline is an *array* of bench documents, not one report
+        .is_some_and(|n| {
+            n.starts_with("BENCH_") && n.ends_with(".json") && n != "BENCH_baseline.json"
+        })
+}
 
 fn main() {
     let mut status = 0;
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut syntax_only = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--syntax-only" => syntax_only = true,
+            _ => paths.push(arg),
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: check_json <file>...");
+        eprintln!("usage: check_json [--syntax-only] <file>...");
         std::process::exit(2);
     }
     for path in paths {
-        match std::fs::read_to_string(&path) {
-            Ok(text) => match Json::parse(&text) {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                status = 1;
+                continue;
+            }
+        };
+        if !syntax_only && is_bench_report(&path) {
+            match validate_bench_text(&text) {
+                Ok(bench) => println!("{path}: valid `{bench}` bench report"),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    status = 1;
+                }
+            }
+        } else {
+            match Json::parse(&text) {
                 Ok(_) => println!("{path}: valid JSON"),
                 Err(e) => {
                     eprintln!("{path}: invalid JSON: {e}");
                     status = 1;
                 }
-            },
-            Err(e) => {
-                eprintln!("{path}: {e}");
-                status = 1;
             }
         }
     }

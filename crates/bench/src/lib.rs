@@ -12,6 +12,9 @@
 //! Benches: `fig1_flow`, `fig2_private_circuit`, `table1_threats`,
 //! `table2_matrix`, `composition_crosseffect`, `step_metrics`.
 
+pub mod report;
+pub mod schema;
+
 use seceda_core::FlowReport;
 use seceda_netlist::{Netlist, NetlistError};
 use seceda_testkit::json::Json;

@@ -1,0 +1,331 @@
+//! Perf-regression gating over `BENCH_*.json` runs.
+//!
+//! The committed `BENCH_baseline.json` at the repo root holds one
+//! schema-valid bench document per (bench, mode): the full-mode results
+//! behind the paper tables plus quick-mode smoke results, merged by
+//! `bench_report --update-baseline`. A fresh run is compared case by
+//! case on each bench's *primary* wall-time metric with a relative
+//! noise tolerance (default 25%, `SECEDA_BENCH_TOL` overrides):
+//!
+//! * `fault_sim` → `packed_ns`
+//! * `sat_attack` → `incremental_ns`
+//! * `parse` → `parse_ns` and `topo_ns`
+//!
+//! Timings are machine-dependent, so the gate is *advisory* by default
+//! (`scripts/verify.sh` prints the delta table and carries on);
+//! `SECEDA_BENCH_STRICT=1` turns any regression beyond tolerance into a
+//! nonzero exit for controlled, same-machine environments such as a
+//! dedicated perf runner.
+
+use crate::schema::{case_key, validate_bench};
+use seceda_testkit::json::Json;
+
+/// Primary wall-time metrics gated per bench.
+pub fn primary_metrics(bench: &str) -> &'static [&'static str] {
+    match bench {
+        "fault_sim" => &["packed_ns"],
+        "sat_attack" => &["incremental_ns"],
+        "parse" => &["parse_ns", "topo_ns"],
+        _ => &[],
+    }
+}
+
+/// One (bench, case, metric) comparison against the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRow {
+    /// Bench name (`fault_sim`, ...).
+    pub bench: String,
+    /// Case name within the bench.
+    pub case: String,
+    /// Metric name (`packed_ns`, ...).
+    pub metric: String,
+    /// Baseline value, `None` for a case not in the baseline yet.
+    pub base: Option<u64>,
+    /// Fresh value.
+    pub fresh: u64,
+    /// `fresh / base` (`None` without a baseline or for a zero base).
+    pub ratio: Option<f64>,
+}
+
+impl DeltaRow {
+    /// Whether this row exceeds the tolerance (`fresh > base * (1+tol)`).
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        self.ratio.is_some_and(|r| r > 1.0 + tolerance)
+    }
+}
+
+fn metric_u64(row: &Json, metric: &str) -> Option<u64> {
+    match row.get(metric) {
+        Some(Json::Int(v)) => Some((*v).max(0) as u64),
+        Some(Json::Num(v)) if *v >= 0.0 => Some(*v as u64),
+        _ => None,
+    }
+}
+
+fn rows_of(doc: &Json) -> &[Json] {
+    match doc.get("results") {
+        Some(Json::Arr(rows)) => rows,
+        _ => &[],
+    }
+}
+
+fn case_of<'a>(doc: &Json, row: &'a Json) -> Option<&'a str> {
+    let bench = match doc.get("bench") {
+        Some(Json::Str(b)) => b.as_str(),
+        _ => return None,
+    };
+    match row.get(case_key(bench)) {
+        Some(Json::Str(c)) => Some(c),
+        _ => None,
+    }
+}
+
+/// Looks up `(bench, case, metric)` across a set of bench documents.
+fn lookup(docs: &[Json], bench: &str, case: &str, metric: &str) -> Option<u64> {
+    docs.iter()
+        .filter(|d| matches!(d.get("bench"), Some(Json::Str(b)) if b == bench))
+        .flat_map(|d| rows_of(d).iter().map(move |r| (d, r)))
+        .find(|(d, r)| case_of(d, r) == Some(case))
+        .and_then(|(_, r)| metric_u64(r, metric))
+}
+
+/// Compares fresh bench documents against baseline documents on each
+/// bench's primary metrics. One [`DeltaRow`] per fresh (case, metric);
+/// baseline cases with no fresh counterpart are skipped (a quick run
+/// never exercises the full-mode cases).
+pub fn compare(fresh: &[Json], baseline: &[Json]) -> Vec<DeltaRow> {
+    let mut out = Vec::new();
+    for doc in fresh {
+        let bench = match doc.get("bench") {
+            Some(Json::Str(b)) => b.clone(),
+            _ => continue,
+        };
+        for row in rows_of(doc) {
+            let Some(case) = case_of(doc, row) else {
+                continue;
+            };
+            for &metric in primary_metrics(&bench) {
+                let Some(fresh_v) = metric_u64(row, metric) else {
+                    continue;
+                };
+                let base = lookup(baseline, &bench, case, metric);
+                let ratio = base.filter(|&b| b > 0).map(|b| fresh_v as f64 / b as f64);
+                out.push(DeltaRow {
+                    bench: bench.clone(),
+                    case: case.to_string(),
+                    metric: metric.to_string(),
+                    base,
+                    fresh: fresh_v,
+                    ratio,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Whether any row regresses beyond `tolerance`.
+pub fn has_regression(rows: &[DeltaRow], tolerance: f64) -> bool {
+    rows.iter().any(|r| r.regressed(tolerance))
+}
+
+/// The process exit code of a gating run: regressions are fatal only in
+/// strict mode (`SECEDA_BENCH_STRICT=1`); otherwise the gate is
+/// advisory and always exits 0.
+pub fn gate_exit_code(rows: &[DeltaRow], tolerance: f64, strict: bool) -> u8 {
+    u8::from(strict && has_regression(rows, tolerance))
+}
+
+/// Renders the delta table. Rows beyond tolerance are marked
+/// `REGRESSED`, rows without a baseline `new`.
+pub fn render_table(rows: &[DeltaRow], tolerance: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<18} {:<16} {:>14} {:>14} {:>8}  verdict",
+        "bench", "case", "metric", "base_ns", "fresh_ns", "delta"
+    );
+    for r in rows {
+        let (base, delta, verdict) = match (r.base, r.ratio) {
+            (Some(b), Some(ratio)) => (
+                b.to_string(),
+                format!("{:+.1}%", (ratio - 1.0) * 100.0),
+                if r.regressed(tolerance) {
+                    "REGRESSED"
+                } else {
+                    "ok"
+                },
+            ),
+            _ => ("-".into(), "-".into(), "new"),
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:<18} {:<16} {:>14} {:>14} {:>8}  {}",
+            r.bench, r.case, r.metric, base, r.fresh, delta, verdict
+        );
+    }
+    out
+}
+
+/// Parses a baseline file: a JSON array of schema-valid bench documents.
+///
+/// # Errors
+///
+/// Syntax errors and schema violations, with the offending entry index.
+pub fn parse_baseline(text: &str) -> Result<Vec<Json>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Json::Arr(entries) = doc else {
+        return Err("baseline must be a JSON array of bench documents".into());
+    };
+    for (i, entry) in entries.iter().enumerate() {
+        validate_bench(entry).map_err(|e| format!("baseline[{i}]: {e}"))?;
+    }
+    Ok(entries)
+}
+
+/// Merges fresh documents into a baseline: a fresh document replaces
+/// the baseline entry with the same (bench, quick) pair, and is
+/// appended otherwise. Entries stay sorted by (bench, quick) so the
+/// serialized baseline is stable.
+pub fn merge_baseline(baseline: &[Json], fresh: &[Json]) -> Vec<Json> {
+    let key = |d: &Json| {
+        (
+            match d.get("bench") {
+                Some(Json::Str(b)) => b.clone(),
+                _ => String::new(),
+            },
+            matches!(d.get("quick"), Some(Json::Bool(true))),
+        )
+    };
+    let mut merged: Vec<Json> = baseline.to_vec();
+    for doc in fresh {
+        let k = key(doc);
+        match merged.iter_mut().find(|d| key(d) == k) {
+            Some(slot) => *slot = doc.clone(),
+            None => merged.push(doc.clone()),
+        }
+    }
+    merged.sort_by_key(&key);
+    merged
+}
+
+/// Serializes a baseline as pretty-enough JSON: one bench document per
+/// line inside the array, so diffs stay per-bench.
+pub fn render_baseline(entries: &[Json]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&e.render());
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(bench: &str, case_field: &str, case: &str, metric: &str, value: i64) -> Json {
+        Json::obj()
+            .field("bench", bench)
+            .field("quick", true)
+            .field(
+                "results",
+                vec![Json::obj()
+                    .field(case_field, case)
+                    .field(metric, value)
+                    .build()],
+            )
+            .build()
+    }
+
+    #[test]
+    fn injected_regression_beyond_tolerance_gates_nonzero_under_strict() {
+        let baseline = vec![doc(
+            "sat_attack",
+            "case",
+            "c17_xor4",
+            "incremental_ns",
+            1_000_000,
+        )];
+        // fresh run is 50% slower: well past the 25% tolerance
+        let fresh = vec![doc(
+            "sat_attack",
+            "case",
+            "c17_xor4",
+            "incremental_ns",
+            1_500_000,
+        )];
+        let rows = compare(&fresh, &baseline);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].base, Some(1_000_000));
+        assert_eq!(rows[0].fresh, 1_500_000);
+        assert!(has_regression(&rows, 0.25));
+        assert_eq!(gate_exit_code(&rows, 0.25, true), 1, "strict mode gates");
+        assert_eq!(
+            gate_exit_code(&rows, 0.25, false),
+            0,
+            "advisory mode warns only"
+        );
+        assert!(render_table(&rows, 0.25).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn within_tolerance_and_improvements_pass() {
+        let baseline = vec![doc("fault_sim", "circuit", "random_60", "packed_ns", 1_000)];
+        for fresh_ns in [800i64, 1_000, 1_200] {
+            let fresh = vec![doc(
+                "fault_sim",
+                "circuit",
+                "random_60",
+                "packed_ns",
+                fresh_ns,
+            )];
+            let rows = compare(&fresh, &baseline);
+            assert!(!has_regression(&rows, 0.25), "{fresh_ns} within tolerance");
+            assert_eq!(gate_exit_code(&rows, 0.25, true), 0);
+        }
+    }
+
+    #[test]
+    fn unknown_cases_are_new_not_regressed() {
+        let baseline = vec![doc("parse", "case", "parse_1k", "parse_ns", 500)];
+        let fresh = vec![doc("parse", "case", "parse_9k", "parse_ns", 99_999)];
+        let rows = compare(&fresh, &baseline);
+        // only parse_ns is present in the row; absent metrics are skipped
+        assert_eq!(rows.len(), 1);
+        let parse_row = rows.iter().find(|r| r.metric == "parse_ns").unwrap();
+        assert_eq!(parse_row.base, None);
+        assert!(!has_regression(&rows, 0.25));
+        assert!(render_table(&rows, 0.25).contains("new"));
+    }
+
+    #[test]
+    fn merge_replaces_same_mode_and_keeps_other_entries() {
+        let full = doc("parse", "case", "parse_100k", "parse_ns", 9);
+        let full = match full {
+            Json::Obj(mut f) => {
+                f[1].1 = Json::Bool(false); // quick=false
+                Json::Obj(f)
+            }
+            _ => unreachable!(),
+        };
+        let old_quick = doc("parse", "case", "parse_1k", "parse_ns", 100);
+        let new_quick = doc("parse", "case", "parse_1k", "parse_ns", 90);
+        let merged = merge_baseline(&[full.clone(), old_quick], &[new_quick.clone()]);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.contains(&full));
+        assert!(merged.contains(&new_quick));
+        // round-trips through the baseline serializer
+        let parsed = parse_baseline(&render_baseline(&merge_baseline(&[], &[]))).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn baseline_entries_are_schema_checked() {
+        let err =
+            parse_baseline(r#"[{"bench":"fault_sim","quick":true,"results":[{}]}]"#).unwrap_err();
+        assert!(err.starts_with("baseline[0]:"), "{err}");
+    }
+}

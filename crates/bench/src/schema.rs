@@ -1,0 +1,261 @@
+//! Schema validation for the `BENCH_*.json` report files.
+//!
+//! Every bench binary writes a document of the shape
+//!
+//! ```json
+//! {"bench": "<name>", "quick": true|false, "results": [ {...}, ... ]}
+//! ```
+//!
+//! where the per-result fields depend on the bench. [`validate_bench`]
+//! checks a parsed document against the known schema for its `bench`
+//! name: required fields must be present with the right type, `results`
+//! must be non-empty, and *unknown* fields are rejected — a typo'd or
+//! drifted field name fails loudly with its JSON path (e.g.
+//! `results[2].packed_ns: missing`) instead of silently producing
+//! baseline tables with holes.
+
+use seceda_testkit::json::Json;
+
+/// Field type expected by a schema slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// JSON string.
+    Str,
+    /// JSON integer (`Json::Int`).
+    Int,
+    /// Any JSON number (`Json::Int` or `Json::Num`).
+    Num,
+    /// JSON boolean.
+    Bool,
+}
+
+impl FieldKind {
+    fn matches(self, v: &Json) -> bool {
+        match self {
+            FieldKind::Str => matches!(v, Json::Str(_)),
+            FieldKind::Int => matches!(v, Json::Int(_)),
+            FieldKind::Num => matches!(v, Json::Int(_) | Json::Num(_)),
+            FieldKind::Bool => matches!(v, Json::Bool(_)),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FieldKind::Str => "string",
+            FieldKind::Int => "integer",
+            FieldKind::Num => "number",
+            FieldKind::Bool => "boolean",
+        }
+    }
+}
+
+/// Per-result schema of one bench document: `(field, kind)` pairs, all
+/// required, nothing else allowed.
+pub fn result_schema(bench: &str) -> Option<&'static [(&'static str, FieldKind)]> {
+    use FieldKind::{Bool, Int, Num, Str};
+    match bench {
+        "fault_sim" => Some(&[
+            ("circuit", Str),
+            ("gates", Int),
+            ("faults", Int),
+            ("patterns", Int),
+            ("scalar_ns", Int),
+            ("packed_ns", Int),
+            ("speedup", Num),
+            ("match", Bool),
+            ("coverage", Num),
+        ]),
+        "sat_attack" => Some(&[
+            ("case", Str),
+            ("key_width", Int),
+            ("dip_iterations", Int),
+            ("rebuild_ns", Int),
+            ("incremental_ns", Int),
+            ("speedup", Num),
+            ("iterations_match", Bool),
+            ("keys_correct", Bool),
+        ]),
+        "parse" => Some(&[
+            ("case", Str),
+            ("gates", Int),
+            ("bytes", Int),
+            ("parse_ns", Int),
+            ("topo_ns", Int),
+            ("gates_per_sec", Num),
+            ("roundtrip_exact", Bool),
+        ]),
+        _ => None,
+    }
+}
+
+/// The key field naming a result row (`circuit` or `case`).
+pub fn case_key(bench: &str) -> &'static str {
+    match bench {
+        "fault_sim" => "circuit",
+        _ => "case",
+    }
+}
+
+fn check_object<'a>(
+    value: &'a Json,
+    path: &str,
+    schema: &[(&str, FieldKind)],
+) -> Result<&'a [(String, Json)], String> {
+    let Json::Obj(fields) = value else {
+        return Err(format!("{path}: expected an object"));
+    };
+    for (name, kind) in schema {
+        match fields.iter().find(|(k, _)| k == name) {
+            None => return Err(format!("{path}.{name}: missing")),
+            Some((_, v)) if !kind.matches(v) => {
+                return Err(format!("{path}.{name}: expected {}", kind.name()));
+            }
+            Some(_) => {}
+        }
+    }
+    for (k, _) in fields {
+        if !schema.iter().any(|(name, _)| name == k) {
+            return Err(format!("{path}.{k}: unknown field"));
+        }
+    }
+    Ok(fields)
+}
+
+/// Validates one parsed `BENCH_*.json` document; returns its bench name.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending JSON path, e.g.
+/// `results[2].packed_ns: missing` or `results[0].speed: unknown field`.
+pub fn validate_bench(doc: &Json) -> Result<String, String> {
+    let Json::Obj(fields) = doc else {
+        return Err("$: expected a top-level object".into());
+    };
+    let bench = match doc.get("bench") {
+        Some(Json::Str(b)) => b.clone(),
+        Some(_) => return Err("$.bench: expected string".into()),
+        None => return Err("$.bench: missing".into()),
+    };
+    let schema = result_schema(&bench)
+        .ok_or_else(|| format!("$.bench: unknown bench `{bench}` (no schema)"))?;
+    match doc.get("quick") {
+        Some(Json::Bool(_)) => {}
+        Some(_) => return Err("$.quick: expected boolean".into()),
+        None => return Err("$.quick: missing".into()),
+    }
+    let results = match doc.get("results") {
+        Some(Json::Arr(r)) => r,
+        Some(_) => return Err("$.results: expected array".into()),
+        None => return Err("$.results: missing".into()),
+    };
+    if results.is_empty() {
+        return Err("$.results: must be non-empty".into());
+    }
+    for (k, _) in fields {
+        if !matches!(k.as_str(), "bench" | "quick" | "results") {
+            return Err(format!("$.{k}: unknown field"));
+        }
+    }
+    for (i, row) in results.iter().enumerate() {
+        check_object(row, &format!("results[{i}]"), schema)?;
+    }
+    Ok(bench)
+}
+
+/// Parses and validates a `BENCH_*.json` file's text. Returns the bench
+/// name on success.
+///
+/// # Errors
+///
+/// JSON syntax errors and schema violations, both as readable strings.
+pub fn validate_bench_text(text: &str) -> Result<String, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    validate_bench(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault_sim_doc() -> String {
+        r#"{"bench":"fault_sim","quick":true,"results":[
+            {"circuit":"ripple_adder_4","gates":21,"faults":58,"patterns":16,
+             "scalar_ns":1000,"packed_ns":100,"speedup":10.0,"match":true,
+             "coverage":0.97}]}"#
+            .into()
+    }
+
+    #[test]
+    fn valid_documents_pass_and_name_their_bench() {
+        assert_eq!(validate_bench_text(&fault_sim_doc()).unwrap(), "fault_sim");
+        let sat = r#"{"bench":"sat_attack","quick":false,"results":[
+            {"case":"c17_xor4","key_width":4,"dip_iterations":2,
+             "rebuild_ns":500,"incremental_ns":200,"speedup":2.5,
+             "iterations_match":true,"keys_correct":true}]}"#;
+        assert_eq!(validate_bench_text(sat).unwrap(), "sat_attack");
+        let parse = r#"{"bench":"parse","quick":true,"results":[
+            {"case":"parse_1k","gates":1000,"bytes":25000,"parse_ns":900,
+             "topo_ns":50,"gates_per_sec":1.1e6,"roundtrip_exact":true}]}"#;
+        assert_eq!(validate_bench_text(parse).unwrap(), "parse");
+    }
+
+    #[test]
+    fn missing_field_fails_with_its_path() {
+        let doc = fault_sim_doc().replace(r#""packed_ns":100,"#, "");
+        let err = validate_bench_text(&doc).unwrap_err();
+        assert_eq!(err, "results[0].packed_ns: missing");
+    }
+
+    #[test]
+    fn unknown_field_fails_with_its_path() {
+        let doc = fault_sim_doc().replace(r#""coverage":0.97"#, r#""coverage":0.97,"bogus":1"#);
+        let err = validate_bench_text(&doc).unwrap_err();
+        assert_eq!(err, "results[0].bogus: unknown field");
+        let doc = fault_sim_doc().replace(r#""quick":true,"#, r#""quick":true,"extra":{},"#);
+        assert_eq!(
+            validate_bench_text(&doc).unwrap_err(),
+            "$.extra: unknown field"
+        );
+    }
+
+    #[test]
+    fn wrong_types_and_structure_fail() {
+        let doc = fault_sim_doc().replace(r#""gates":21"#, r#""gates":"21""#);
+        assert_eq!(
+            validate_bench_text(&doc).unwrap_err(),
+            "results[0].gates: expected integer"
+        );
+        assert_eq!(
+            validate_bench_text(r#"{"bench":"fault_sim","quick":true,"results":[]}"#).unwrap_err(),
+            "$.results: must be non-empty"
+        );
+        assert_eq!(
+            validate_bench_text(r#"{"bench":"mystery","quick":true,"results":[{}]}"#).unwrap_err(),
+            "$.bench: unknown bench `mystery` (no schema)"
+        );
+        assert_eq!(
+            validate_bench_text("[1,2]").unwrap_err(),
+            "$: expected a top-level object"
+        );
+        assert!(validate_bench_text("{nope")
+            .unwrap_err()
+            .starts_with("invalid JSON"));
+    }
+
+    #[test]
+    fn committed_report_documents_validate() {
+        // the full-mode result docs committed at the repo root must
+        // always satisfy their own schema
+        for name in [
+            "BENCH_fault_sim.json",
+            "BENCH_sat_attack.json",
+            "BENCH_parse.json",
+        ] {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(name);
+            let text = std::fs::read_to_string(&path).expect("committed bench doc readable");
+            validate_bench_text(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

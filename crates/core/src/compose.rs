@@ -162,6 +162,7 @@ impl CompositionEngine {
         let mut report = SecurityReport::new(label);
 
         // --- side channels: exact first-order probing when masked ---
+        let threat_t = seceda_trace::hist_timer("compose.threat_ns");
         let sp = seceda_trace::span("compose.threat").with("threat", "side-channel");
         match &self.dut.probing_model {
             Some(model)
@@ -191,8 +192,10 @@ impl CompositionEngine {
             }
         }
         drop(sp);
+        drop(threat_t);
 
         // --- fault injection: detection coverage on single gate faults ---
+        let threat_t = seceda_trace::hist_timer("compose.threat_ns");
         let sp = seceda_trace::span("compose.threat").with("threat", "fault-injection");
         let protected = ProtectedNetlist {
             netlist: self.dut.netlist.clone(),
@@ -224,8 +227,10 @@ impl CompositionEngine {
             },
         ));
         drop(sp);
+        drop(threat_t);
 
         // --- piracy: locking key material present ---
+        let threat_t = seceda_trace::hist_timer("compose.threat_ns");
         let sp = seceda_trace::span("compose.threat").with("threat", "piracy");
         report.metrics.push(SecurityMetric::new(
             "locking key bits",
@@ -236,8 +241,10 @@ impl CompositionEngine {
             },
         ));
         drop(sp);
+        drop(threat_t);
 
         // --- Trojans: unmonitored rare-net surface ---
+        let threat_t = seceda_trace::hist_timer("compose.threat_ns");
         let sp = seceda_trace::span("compose.threat").with("threat", "trojan");
         let probs = signal_probabilities(&self.dut.netlist, 32, self.eval.seed ^ 2)?;
         // nets that never toggle (empirical rarity 0) cannot fire a
@@ -262,6 +269,7 @@ impl CompositionEngine {
             },
         ));
         drop(sp);
+        drop(threat_t);
 
         let failing = report
             .metrics

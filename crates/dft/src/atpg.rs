@@ -175,6 +175,9 @@ pub fn generate_tests(
     let mut sat_queries = 0u64;
     let mut atpg = AtpgSolver::new(nl)?;
     for (k, &f) in faults.iter().enumerate() {
+        // heartbeat: the watchdog sees fault-list progress even while
+        // individual SAT queries are slow
+        seceda_trace::progress("dft.faults_processed", k as u64 + 1);
         if detected[k] {
             continue;
         }

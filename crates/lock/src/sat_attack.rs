@@ -225,10 +225,14 @@ pub fn sat_attack(
     let mut iterations = 0usize;
     let mut conflict_deltas: Vec<u64> = Vec::new();
     loop {
+        // one histogram sample per DIP iteration (the final UNSAT
+        // round included), so slow-iteration tails show up as p99
+        let _iter_t = seceda_trace::hist_timer("sat.dip_iter_ns");
         let before = solver.num_conflicts;
         match solver.solve_with_assumptions(&[diff]) {
             SatResult::Sat(model) => {
                 iterations += 1;
+                seceda_trace::progress("lock.dip_iterations", iterations as u64);
                 let x_hat = canonical_dip(&mut solver, &x_vars, diff, &model);
                 conflict_deltas.push(solver.num_conflicts - before);
                 let y_hat = oracle(&x_hat);

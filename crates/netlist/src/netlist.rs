@@ -436,6 +436,7 @@ impl Netlist {
     /// Returns [`NetlistError::CombinationalCycle`] if the combinational
     /// gates form a cycle.
     pub fn topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
+        let _t = seceda_trace::hist_timer("ir.topo_ns");
         let n = self.gates.len();
         // indegree over combinational gates: count inputs driven by comb gates
         let mut indeg = vec![0usize; n];
@@ -519,12 +520,15 @@ impl Netlist {
                 }
             }
         }
-        in_cone
+        let cone: Vec<GateId> = in_cone
             .iter()
             .enumerate()
             .filter(|&(_, &x)| x)
             .map(|(i, _)| GateId::from_index(i))
-            .collect()
+            .collect();
+        seceda_trace::counter("ir.cone_extractions", 1);
+        seceda_trace::histogram("ir.cone_gates", cone.len() as u64);
+        cone
     }
 
     /// Evaluates every net for one cycle.

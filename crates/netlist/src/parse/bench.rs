@@ -177,6 +177,7 @@ fn valid_signal_name(name: &str) -> bool {
 /// signals referenced but never defined, and
 /// [`NetlistError::CombinationalCycle`] for cyclic logic.
 pub fn parse_bench(text: &str) -> Result<Netlist, NetlistError> {
+    let mut sp = seceda_trace::span("parse.bench");
     // guess capacity: most lines are gates
     let approx_lines = text.len() / 16;
     let mut nl = Netlist::with_capacity(DEFAULT_DESIGN_NAME, approx_lines, approx_lines);
@@ -189,6 +190,10 @@ pub fn parse_bench(text: &str) -> Result<Netlist, NetlistError> {
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
+        // heartbeat for the stall watchdog on 10^6-line designs
+        if line & 0xFFF == 0 {
+            seceda_trace::progress("parse.lines_seen", line as u64);
+        }
         // split off the comment; a `tags:` comment on a gate line is
         // metadata, `design:` sets the design name
         let (body, comment) = match raw.split_once('#') {
@@ -281,6 +286,8 @@ pub fn parse_bench(text: &str) -> Result<Netlist, NetlistError> {
         nl.mark_output(net, name);
     }
     nl.validate()?;
+    sp.attr("gates", nl.num_gates());
+    sp.attr("inputs", nl.inputs().len());
     Ok(nl)
 }
 

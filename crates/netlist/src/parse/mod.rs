@@ -58,11 +58,32 @@ impl DesignFormat {
 ///
 /// Propagates the format parser's [`NetlistError`].
 pub fn parse_design(text: &str, format: DesignFormat) -> Result<Netlist, NetlistError> {
-    match format {
+    let mut sp = seceda_trace::span("parse.design")
+        .with(
+            "format",
+            match format {
+                DesignFormat::Bench => "bench",
+                DesignFormat::Verilog => "verilog",
+                DesignFormat::Text => "text",
+            },
+        )
+        .with("bytes", text.len());
+    let timer = seceda_trace::hist_timer("parse.design_ns");
+    let result = match format {
         DesignFormat::Bench => parse_bench(text),
         DesignFormat::Verilog => parse_verilog(text),
         DesignFormat::Text => crate::text::parse_netlist(text),
+    };
+    drop(timer);
+    if seceda_trace::enabled() {
+        seceda_trace::counter("parse.lines", text.lines().count() as u64);
+        if let Ok(nl) = &result {
+            seceda_trace::counter("parse.gates", nl.num_gates() as u64);
+            sp.attr("gates", nl.num_gates());
+        }
+        sp.attr("ok", result.is_ok());
     }
+    result
 }
 
 /// Reads and parses a design file, picking the format from its

@@ -164,7 +164,9 @@ fn prim_kind(kw: &str) -> Option<CellKind> {
 /// [`NetlistError::MultipleDrivers`] / [`NetlistError::BadArity`] /
 /// [`NetlistError::CombinationalCycle`] for structural violations.
 pub fn parse_verilog(text: &str) -> Result<Netlist, NetlistError> {
+    let mut sp = seceda_trace::span("parse.verilog");
     let stmts = statements(text)?;
+    sp.attr("statements", stmts.len());
     let mut nl = Netlist::with_capacity("module", stmts.len(), stmts.len());
     let mut signals = SignalMap::new();
     let mut declared: Vec<Symbol> = Vec::new();
@@ -180,8 +182,14 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, NetlistError> {
             .ok_or_else(|| NetlistError::UnknownNet(tok.to_string()))
     };
 
+    let mut stmt_no = 0u64;
     for (stmt, line) in &stmts {
         let line = *line;
+        stmt_no += 1;
+        // heartbeat for the stall watchdog on very large modules
+        if stmt_no & 0xFFF == 0 {
+            seceda_trace::progress("parse.statements_seen", stmt_no);
+        }
         if saw_end {
             return Err(parse_err(line, "statement after endmodule"));
         }
@@ -314,6 +322,8 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, NetlistError> {
         nl.mark_output(net, name);
     }
     nl.validate()?;
+    sp.attr("gates", nl.num_gates());
+    sp.attr("inputs", nl.inputs().len());
     Ok(nl)
 }
 

@@ -1,0 +1,124 @@
+//! Opt-in allocation accounting.
+//!
+//! The crate installs [`CountingAllocator`] as the workspace's global
+//! allocator: a pass-through to the system allocator that, when
+//! `SECEDA_TRACE_ALLOC=1` is set (or [`set_alloc_counting`] is called),
+//! counts allocations and gross bytes per thread. Spans snapshot the
+//! opening thread's counters on open and attach the delta on drop as
+//! `alloc_count` / `alloc_bytes` attributes — so CNF encoding and IR
+//! construction get memory profiles, not just wall time.
+//!
+//! Accounting semantics:
+//!
+//! * **Per thread.** Counters are thread-local, so a span attributes
+//!   only the allocations of its own thread — concurrent workers never
+//!   pollute each other's spans, which is what makes the numbers
+//!   deterministic under `testkit::par` fan-out.
+//! * **Gross.** Every `alloc`/`alloc_zeroed` counts its full size and
+//!   every `realloc` counts the new size; frees are not subtracted. The
+//!   numbers answer "how much allocator traffic did this region cause",
+//!   not "what is resident now".
+//! * **Nested.** Like wall time, a parent span's delta includes its
+//!   children's.
+//!
+//! When the gate is off (the default) the accounting cost is one relaxed
+//! atomic load per allocation — the same overhead policy as every other
+//! probe in this crate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const A_UNINIT: u8 = 0;
+const A_OFF: u8 = 1;
+const A_ON: u8 = 2;
+
+static ALLOC_STATE: AtomicU8 = AtomicU8::new(A_UNINIT);
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Whether allocation accounting is on. First call reads
+/// `SECEDA_TRACE_ALLOC` (`0`, empty, or unset mean off); later calls are
+/// a single relaxed atomic load.
+pub fn alloc_counting_enabled() -> bool {
+    match ALLOC_STATE.load(Ordering::Relaxed) {
+        A_ON => true,
+        A_OFF => false,
+        _ => {
+            // Park the state at OFF before touching the environment:
+            // `var_os` allocates, and the nested `alloc` call must see a
+            // settled state instead of recursing back into init.
+            ALLOC_STATE.store(A_OFF, Ordering::Relaxed);
+            let on = std::env::var_os("SECEDA_TRACE_ALLOC")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false);
+            ALLOC_STATE.store(if on { A_ON } else { A_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Turns allocation accounting on or off programmatically (overrides
+/// `SECEDA_TRACE_ALLOC`).
+pub fn set_alloc_counting(on: bool) {
+    ALLOC_STATE.store(if on { A_ON } else { A_OFF }, Ordering::Relaxed);
+}
+
+/// The calling thread's `(allocations, gross bytes)` totals, or `None`
+/// when accounting is off. Monotonic per thread while accounting stays
+/// on; spans diff two snapshots for their attribution.
+pub fn thread_totals() -> Option<(u64, u64)> {
+    if !alloc_counting_enabled() {
+        return None;
+    }
+    let count = ALLOC_COUNT.try_with(Cell::get).unwrap_or(0);
+    let bytes = ALLOC_BYTES.try_with(Cell::get).unwrap_or(0);
+    Some((count, bytes))
+}
+
+#[inline]
+fn note(bytes: usize) {
+    // `try_with`: allocations during thread teardown (after TLS
+    // destruction) must pass through uncounted rather than panic
+    let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+    let _ = ALLOC_BYTES.try_with(|c| c.set(c.get() + bytes as u64));
+}
+
+/// Pass-through system allocator with opt-in per-thread counting.
+/// Installed as the workspace's `#[global_allocator]` by this crate.
+pub struct CountingAllocator;
+
+// SAFETY: pure delegation to `System`; the bookkeeping touches only
+// thread-local `Cell`s and never allocates.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if alloc_counting_enabled() {
+            note(layout.size());
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if alloc_counting_enabled() {
+            note(layout.size());
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if alloc_counting_enabled() {
+            note(new_size);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;

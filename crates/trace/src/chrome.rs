@@ -1,0 +1,103 @@
+//! Chrome trace-event export.
+//!
+//! [`to_chrome_trace`] renders a recorded session as the Trace Event
+//! Format JSON array understood by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) — drop the output file onto the
+//! Perfetto UI and every span becomes a zoomable slice on its thread's
+//! track, with counters as stacked counter tracks.
+//!
+//! Mapping:
+//!
+//! * spans → complete events (`"ph":"X"`) with microsecond `ts`/`dur`
+//!   (fractional, so nanosecond precision survives), `tid` = the
+//!   recording thread's ordinal, and attributes under `args` (snapshot
+//!   records additionally carry `"unfinished": true`);
+//! * counters → counter events (`"ph":"C"`) carrying the *running
+//!   total* per counter name, so the track plots accumulation over time;
+//! * gauges → counter events carrying the observed value;
+//! * histogram samples are omitted (they aggregate into
+//!   [`crate::Summary`] percentiles instead of timeline tracks);
+//! * one metadata event (`"ph":"M"`) names each thread track.
+
+use crate::recorder::Event;
+use seceda_testkit::json::{Json, ToJson};
+use std::collections::BTreeMap;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Renders events as a Chrome trace-event JSON array.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut out: Vec<Json> = Vec::new();
+    let mut threads: BTreeMap<u32, ()> = BTreeMap::new();
+    let mut counter_totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in events {
+        match ev {
+            Event::Span(s) => {
+                threads.entry(s.thread).or_insert(());
+                let mut args = Json::obj();
+                for (k, v) in &s.attrs {
+                    args = args.field(*k, v.to_json());
+                }
+                if s.unfinished {
+                    args = args.field("unfinished", true);
+                }
+                out.push(
+                    Json::obj()
+                        .field("name", s.name.as_str())
+                        .field("cat", "span")
+                        .field("ph", "X")
+                        .field("ts", us(s.start_ns))
+                        .field("dur", us(s.duration_ns()))
+                        .field("pid", 1)
+                        .field("tid", s.thread as i64)
+                        .field("args", args.build())
+                        .build(),
+                );
+            }
+            Event::Counter(c) => {
+                let total = counter_totals.entry(c.name).or_insert(0);
+                *total += c.delta;
+                out.push(
+                    Json::obj()
+                        .field("name", c.name)
+                        .field("ph", "C")
+                        .field("ts", us(c.ts_ns))
+                        .field("pid", 1)
+                        .field("args", Json::obj().field(c.name, *total as i64).build())
+                        .build(),
+                );
+            }
+            Event::Gauge(g) => {
+                out.push(
+                    Json::obj()
+                        .field("name", g.name)
+                        .field("ph", "C")
+                        .field("ts", us(g.ts_ns))
+                        .field("pid", 1)
+                        .field("args", Json::obj().field(g.name, g.value).build())
+                        .build(),
+                );
+            }
+            Event::Hist(_) => {}
+        }
+    }
+    for &tid in threads.keys() {
+        out.push(
+            Json::obj()
+                .field("name", "thread_name")
+                .field("ph", "M")
+                .field("pid", 1)
+                .field("tid", tid as i64)
+                .field(
+                    "args",
+                    Json::obj()
+                        .field("name", format!("seceda thread {tid}"))
+                        .build(),
+                )
+                .build(),
+        );
+    }
+    Json::Arr(out).render()
+}

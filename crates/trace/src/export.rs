@@ -1,11 +1,15 @@
-//! JSON-lines export of recorded events.
+//! JSON-lines export and import of recorded events.
 //!
 //! One JSON object per line, parseable by `seceda_testkit::json` (and by
 //! any external JSONL consumer), so bench snapshots and CI logs can carry
-//! per-stage breakdowns without a schema dependency.
+//! per-stage breakdowns without a schema dependency. [`from_json_lines`]
+//! is the inverse: the `seceda_obs` CLI uses it to load sessions back
+//! for rendering, diffing, and Chrome-trace export.
 
-use crate::recorder::{AttrValue, Event};
+use crate::recorder::{AttrValue, CounterRecord, Event, GaugeRecord, HistRecord, SpanRecord};
 use seceda_testkit::json::{Json, ToJson};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 impl ToJson for AttrValue {
     fn to_json(&self) -> Json {
@@ -21,17 +25,22 @@ impl ToJson for AttrValue {
 impl ToJson for Event {
     fn to_json(&self) -> Json {
         match self {
-            Event::Span(s) => Json::obj()
-                .field("type", "span")
-                .field("id", s.id as i64)
-                .field(
-                    "parent",
-                    s.parent.map_or(Json::Null, |p| Json::Int(p as i64)),
-                )
-                .field("name", s.name.as_str())
-                .field("start_ns", s.start_ns as i64)
-                .field("end_ns", s.end_ns as i64)
-                .field(
+            Event::Span(s) => {
+                let mut obj = Json::obj()
+                    .field("type", "span")
+                    .field("id", s.id as i64)
+                    .field(
+                        "parent",
+                        s.parent.map_or(Json::Null, |p| Json::Int(p as i64)),
+                    )
+                    .field("name", s.name.as_str())
+                    .field("start_ns", s.start_ns as i64)
+                    .field("end_ns", s.end_ns as i64)
+                    .field("thread", s.thread as i64);
+                if s.unfinished {
+                    obj = obj.field("unfinished", true);
+                }
+                obj.field(
                     "attrs",
                     Json::Obj(
                         s.attrs
@@ -40,18 +49,28 @@ impl ToJson for Event {
                             .collect(),
                     ),
                 )
-                .build(),
+                .build()
+            }
             Event::Counter(c) => Json::obj()
                 .field("type", "counter")
                 .field("name", c.name)
                 .field("delta", c.delta as i64)
                 .field("span", c.span.map_or(Json::Null, |s| Json::Int(s as i64)))
+                .field("ts_ns", c.ts_ns as i64)
                 .build(),
             Event::Gauge(g) => Json::obj()
                 .field("type", "gauge")
                 .field("name", g.name)
                 .field("value", g.value)
                 .field("span", g.span.map_or(Json::Null, |s| Json::Int(s as i64)))
+                .field("ts_ns", g.ts_ns as i64)
+                .build(),
+            Event::Hist(h) => Json::obj()
+                .field("type", "hist")
+                .field("name", h.name)
+                .field("value", h.value as i64)
+                .field("span", h.span.map_or(Json::Null, |s| Json::Int(s as i64)))
+                .field("ts_ns", h.ts_ns as i64)
                 .build(),
         }
     }
@@ -65,4 +84,124 @@ pub fn to_json_lines(events: &[Event]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Interns a name into a `&'static str`. Counter/gauge/histogram names
+/// and attribute keys are `&'static` in the record model (probe sites
+/// pass literals); when re-hydrating from JSON the distinct-name set is
+/// small and session-stable, so leaking one copy per unique name is the
+/// right trade against widening every record type to `String`.
+fn intern(s: &str) -> &'static str {
+    static TABLE: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut table = TABLE.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&interned) = table.get(s) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.insert(s.to_string(), leaked);
+    leaked
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    match obj.get(key) {
+        Some(Json::Int(i)) if *i >= 0 => Ok(*i as u64),
+        other => Err(format!(
+            "field `{key}`: expected non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+fn get_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    match obj.get(key) {
+        Some(Json::Str(s)) => Ok(s),
+        other => Err(format!("field `{key}`: expected string, got {other:?}")),
+    }
+}
+
+fn get_opt_span(obj: &Json, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Int(i)) if *i >= 0 => Ok(Some(*i as u64)),
+        other => Err(format!("field `{key}`: expected null or id, got {other:?}")),
+    }
+}
+
+fn attr_from_json(v: &Json) -> Result<AttrValue, String> {
+    match v {
+        Json::Int(i) => Ok(AttrValue::Int(*i)),
+        Json::Num(n) => Ok(AttrValue::Float(*n)),
+        Json::Str(s) => Ok(AttrValue::Str(s.clone())),
+        Json::Bool(b) => Ok(AttrValue::Bool(*b)),
+        other => Err(format!("unsupported attribute value {other:?}")),
+    }
+}
+
+fn event_from_json(obj: &Json) -> Result<Event, String> {
+    match get_str(obj, "type")? {
+        "span" => {
+            let attrs = match obj.get("attrs") {
+                None => Vec::new(),
+                Some(Json::Obj(fields)) => fields
+                    .iter()
+                    .map(|(k, v)| Ok((intern(k), attr_from_json(v)?)))
+                    .collect::<Result<Vec<_>, String>>()?,
+                other => return Err(format!("field `attrs`: expected object, got {other:?}")),
+            };
+            Ok(Event::Span(SpanRecord {
+                id: get_u64(obj, "id")?,
+                parent: get_opt_span(obj, "parent")?,
+                name: get_str(obj, "name")?.to_string(),
+                start_ns: get_u64(obj, "start_ns")?,
+                end_ns: get_u64(obj, "end_ns")?,
+                thread: get_u64(obj, "thread").unwrap_or(0) as u32,
+                unfinished: matches!(obj.get("unfinished"), Some(Json::Bool(true))),
+                attrs,
+            }))
+        }
+        "counter" => Ok(Event::Counter(CounterRecord {
+            name: intern(get_str(obj, "name")?),
+            delta: get_u64(obj, "delta")?,
+            span: get_opt_span(obj, "span")?,
+            ts_ns: get_u64(obj, "ts_ns").unwrap_or(0),
+        })),
+        "gauge" => {
+            let value = match obj.get("value") {
+                Some(Json::Num(n)) => *n,
+                Some(Json::Int(i)) => *i as f64,
+                other => return Err(format!("field `value`: expected number, got {other:?}")),
+            };
+            Ok(Event::Gauge(GaugeRecord {
+                name: intern(get_str(obj, "name")?),
+                value,
+                span: get_opt_span(obj, "span")?,
+                ts_ns: get_u64(obj, "ts_ns").unwrap_or(0),
+            }))
+        }
+        "hist" => Ok(Event::Hist(HistRecord {
+            name: intern(get_str(obj, "name")?),
+            value: get_u64(obj, "value")?,
+            span: get_opt_span(obj, "span")?,
+            ts_ns: get_u64(obj, "ts_ns").unwrap_or(0),
+        })),
+        other => Err(format!("unknown event type `{other}`")),
+    }
+}
+
+/// Parses a JSON-lines session back into events — the inverse of
+/// [`to_json_lines`]. Blank lines are skipped; any malformed line fails
+/// with its 1-based line number.
+///
+/// # Errors
+///
+/// Returns a description naming the offending line.
+pub fn from_json_lines(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(event_from_json(&obj).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(events)
 }

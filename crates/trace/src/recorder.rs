@@ -1,14 +1,24 @@
 //! The process-wide recorder: event model, enable gate, and collection.
 //!
 //! All instrumentation funnels into a single global recorder guarded by a
-//! mutex. The hot-path cost when tracing is disabled is one relaxed
-//! atomic load (see [`enabled`]); instrumented crates therefore leave
-//! their probes in unconditionally. Spans nest per thread via a
+//! mutex. The hot-path cost when telemetry is fully disabled is one
+//! relaxed atomic load (see [`flags`]); instrumented crates therefore
+//! leave their probes in unconditionally. Spans nest per thread via a
 //! thread-local stack, so a span opened on a worker thread starts a new
 //! root rather than attaching to an unrelated parent.
+//!
+//! Two consumers hang off the probe stream besides the event buffer:
+//!
+//! * a **live-span registry** of currently-open spans, so mid-run
+//!   snapshots ([`drain`]) can emit in-flight work as explicitly-marked
+//!   unfinished records and the watchdog can dump the live stack of a
+//!   hung engine ([`live_spans`]);
+//! * an **activity generation counter** plus a [`progress`] gauge
+//!   registry, which the stall watchdog polls to distinguish "slow but
+//!   moving" from "hung" (see [`crate::watchdog`]).
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -79,6 +89,13 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// End time in nanoseconds since the process trace epoch.
     pub end_ns: u64,
+    /// Ordinal of the recording thread (process-unique, dense from 0).
+    pub thread: u32,
+    /// True for spans that were still open when a [`drain`] snapshot was
+    /// taken (or when the watchdog dumped the live stack): `end_ns` is
+    /// the snapshot time, not a real completion, and attributes attached
+    /// after the snapshot are absent.
+    pub unfinished: bool,
     /// Key/value attributes, in insertion order.
     pub attrs: Vec<(&'static str, AttrValue)>,
 }
@@ -104,6 +121,8 @@ pub struct CounterRecord {
     pub delta: u64,
     /// Span open on the recording thread at the time, if any.
     pub span: Option<u64>,
+    /// Record time in nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
 }
 
 /// A point-in-time measurement (e.g. current gate count).
@@ -115,6 +134,24 @@ pub struct GaugeRecord {
     pub value: f64,
     /// Span open on the recording thread at the time, if any.
     pub span: Option<u64>,
+    /// Record time in nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+}
+
+/// One sample of a histogram metric (e.g. nanoseconds of one DIP
+/// iteration). Samples aggregate into [`crate::Histogram`]s in
+/// [`crate::Summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistRecord {
+    /// Histogram name (dotted convention; the `_ns` suffix marks
+    /// duration-valued metrics for rendering).
+    pub name: &'static str,
+    /// The sampled value.
+    pub value: u64,
+    /// Span open on the recording thread at the time, if any.
+    pub span: Option<u64>,
+    /// Record time in nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
 }
 
 /// One recorded telemetry event.
@@ -126,26 +163,74 @@ pub enum Event {
     Counter(CounterRecord),
     /// A gauge observation.
     Gauge(GaugeRecord),
+    /// A histogram sample.
+    Hist(HistRecord),
 }
 
-const STATE_UNINIT: u8 = 0;
-const STATE_OFF: u8 = 1;
-const STATE_ON: u8 = 2;
+/// A currently-open span, as seen by [`live_spans`] and the watchdog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveSpan {
+    /// Span id.
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Ordinal of the opening thread.
+    pub thread: u32,
+}
 
-static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+const F_INIT: u8 = 1;
+const F_TRACE: u8 = 2;
+const F_WATCH: u8 = 4;
+
+static FLAGS: AtomicU8 = AtomicU8::new(0);
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+static ACTIVITY: AtomicU64 = AtomicU64::new(0);
+static WATCHERS: AtomicU32 = AtomicU32::new(0);
 static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static LIVE: Mutex<Vec<LiveSpan>> = Mutex::new(Vec::new());
+static PROGRESS: Mutex<Vec<(&'static str, u64)>> = Mutex::new(Vec::new());
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static SESSION: Mutex<()> = Mutex::new(());
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORD: Cell<u32> = const { Cell::new(u32::MAX) };
 }
 
-fn lock_events() -> MutexGuard<'static, Vec<Event>> {
+fn lock<T>(m: &'static Mutex<T>) -> MutexGuard<'static, T> {
     // a panic inside an instrumented region must not disable telemetry
-    EVENTS.lock().unwrap_or_else(|e| e.into_inner())
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
+
+/// The probe gate: a single relaxed atomic load on the hot path. Bit
+/// `F_TRACE` means events are recorded; bit `F_WATCH` means a stall
+/// watchdog is armed and probes must bump the activity generation even
+/// when event recording is off.
+pub(crate) fn flags() -> u8 {
+    let f = FLAGS.load(Ordering::Relaxed);
+    if f & F_INIT != 0 {
+        f
+    } else {
+        init_from_env()
+    }
+}
+
+#[cold]
+fn init_from_env() -> u8 {
+    let on = std::env::var_os("SECEDA_TRACE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    let set = F_INIT | if on { F_TRACE } else { 0 };
+    FLAGS.fetch_or(set, Ordering::Relaxed) | set
+}
+
+pub(crate) const TRACE_BIT: u8 = F_TRACE;
+pub(crate) const WATCH_BIT: u8 = F_WATCH;
 
 /// Whether tracing is currently on.
 ///
@@ -153,22 +238,42 @@ fn lock_events() -> MutexGuard<'static, Vec<Event>> {
 /// or unset mean off; anything else means on); later calls are a single
 /// relaxed atomic load. [`set_enabled`] overrides the environment.
 pub fn enabled() -> bool {
-    match STATE.load(Ordering::Relaxed) {
-        STATE_ON => true,
-        STATE_OFF => false,
-        _ => {
-            let on = std::env::var_os("SECEDA_TRACE")
-                .map(|v| !v.is_empty() && v != "0")
-                .unwrap_or(false);
-            STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
-            on
-        }
-    }
+    flags() & F_TRACE != 0
 }
 
 /// Turns tracing on or off programmatically (overrides `SECEDA_TRACE`).
 pub fn set_enabled(on: bool) {
-    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    if on {
+        FLAGS.fetch_or(F_INIT | F_TRACE, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!F_TRACE, Ordering::Relaxed);
+        FLAGS.fetch_or(F_INIT, Ordering::Relaxed);
+    }
+}
+
+/// Arms the watchdog bit: probes start bumping the activity generation.
+/// Calls nest; the bit clears when every armer has disarmed.
+pub(crate) fn arm_watch() {
+    flags(); // force env init so we don't clobber the lazy SECEDA_TRACE read
+    WATCHERS.fetch_add(1, Ordering::Relaxed);
+    FLAGS.fetch_or(F_WATCH, Ordering::Relaxed);
+}
+
+pub(crate) fn disarm_watch() {
+    if WATCHERS.fetch_sub(1, Ordering::Relaxed) == 1 {
+        FLAGS.fetch_and(!F_WATCH, Ordering::Relaxed);
+    }
+}
+
+/// The activity generation: bumped by every probe while a watchdog is
+/// armed. A stalled process is one whose generation stops moving.
+pub(crate) fn activity_generation() -> u64 {
+    ACTIVITY.load(Ordering::Relaxed)
+}
+
+#[inline]
+pub(crate) fn bump_activity() {
+    ACTIVITY.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn now_ns() -> u64 {
@@ -177,6 +282,20 @@ pub(crate) fn now_ns() -> u64 {
 
 pub(crate) fn next_span_id() -> u64 {
     NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Dense process-unique ordinal of the calling thread (0, 1, 2, ...).
+pub(crate) fn thread_ordinal() -> u32 {
+    THREAD_ORD.with(|t| {
+        let v = t.get();
+        if v != u32::MAX {
+            v
+        } else {
+            let v = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+            v
+        }
+    })
 }
 
 pub(crate) fn current_span() -> Option<u64> {
@@ -198,37 +317,147 @@ pub(crate) fn pop_span(id: u64) {
     });
 }
 
+pub(crate) fn register_live(span: LiveSpan) {
+    lock(&LIVE).push(span);
+}
+
+pub(crate) fn unregister_live(id: u64) {
+    let mut live = lock(&LIVE);
+    if let Some(pos) = live.iter().rposition(|s| s.id == id) {
+        live.remove(pos);
+    }
+}
+
+/// Snapshot of every span currently open on any thread, in opening
+/// order. Available whenever tracing is enabled; this is what the
+/// watchdog prints when it flags a stall.
+pub fn live_spans() -> Vec<LiveSpan> {
+    lock(&LIVE).clone()
+}
+
 pub(crate) fn record(event: Event) {
-    lock_events().push(event);
+    lock(&EVENTS).push(event);
 }
 
 /// Adds `delta` to the named counter. No-op when tracing is off.
 pub fn counter(name: &'static str, delta: u64) {
-    if !enabled() {
+    let f = flags();
+    if f & (F_TRACE | F_WATCH) == 0 {
         return;
     }
-    record(Event::Counter(CounterRecord {
-        name,
-        delta,
-        span: current_span(),
-    }));
+    if f & F_WATCH != 0 {
+        bump_activity();
+    }
+    if f & F_TRACE != 0 {
+        record(Event::Counter(CounterRecord {
+            name,
+            delta,
+            span: current_span(),
+            ts_ns: now_ns(),
+        }));
+    }
 }
 
 /// Records a point-in-time observation. No-op when tracing is off.
 pub fn gauge(name: &'static str, value: f64) {
-    if !enabled() {
+    let f = flags();
+    if f & (F_TRACE | F_WATCH) == 0 {
         return;
     }
-    record(Event::Gauge(GaugeRecord {
-        name,
-        value,
-        span: current_span(),
-    }));
+    if f & F_WATCH != 0 {
+        bump_activity();
+    }
+    if f & F_TRACE != 0 {
+        record(Event::Gauge(GaugeRecord {
+            name,
+            value,
+            span: current_span(),
+            ts_ns: now_ns(),
+        }));
+    }
+}
+
+/// Records one histogram sample. No-op when tracing is off.
+///
+/// Samples aggregate into log-bucketed [`crate::Histogram`]s in
+/// [`crate::Summary`], which reports p50/p90/p99/max per metric. By
+/// convention, duration-valued metrics end in `_ns`.
+pub fn histogram(name: &'static str, value: u64) {
+    let f = flags();
+    if f & (F_TRACE | F_WATCH) == 0 {
+        return;
+    }
+    if f & F_WATCH != 0 {
+        bump_activity();
+    }
+    if f & F_TRACE != 0 {
+        record(Event::Hist(HistRecord {
+            name,
+            value,
+            span: current_span(),
+            ts_ns: now_ns(),
+        }));
+    }
+}
+
+/// Publishes a monotonic progress gauge (e.g. DIP iterations completed,
+/// patterns graded). Progress probes feed two consumers: the recorded
+/// event stream (as a gauge) and the stall watchdog, which treats any
+/// progress update as liveness and snapshots the latest value per name
+/// for its stall report. No-op when both tracing and the watchdog are
+/// off — the hot-path cost is one relaxed atomic load.
+pub fn progress(name: &'static str, value: u64) {
+    let f = flags();
+    if f & (F_TRACE | F_WATCH) == 0 {
+        return;
+    }
+    if f & F_WATCH != 0 {
+        bump_activity();
+        let mut reg = lock(&PROGRESS);
+        match reg.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = value,
+            None => reg.push((name, value)),
+        }
+    }
+    if f & F_TRACE != 0 {
+        record(Event::Gauge(GaugeRecord {
+            name,
+            value: value as f64,
+            span: current_span(),
+            ts_ns: now_ns(),
+        }));
+    }
+}
+
+/// The latest value of every [`progress`] gauge published while a
+/// watchdog was armed, in first-publication order.
+pub fn progress_snapshot() -> Vec<(&'static str, u64)> {
+    lock(&PROGRESS).clone()
 }
 
 /// Removes and returns every event recorded so far, in recording order.
+///
+/// Spans still open at the time of the call are appended as
+/// explicitly-marked snapshot records (`unfinished: true`, `end_ns` =
+/// snapshot time, no attributes) so mid-run snapshots and watchdog dumps
+/// are lossless; each such span records again — finished, with its
+/// attributes — when its guard finally drops.
 pub fn drain() -> Vec<Event> {
-    std::mem::take(&mut *lock_events())
+    let mut events = std::mem::take(&mut *lock(&EVENTS));
+    let snapshot_ns = now_ns();
+    for live in lock(&LIVE).iter() {
+        events.push(Event::Span(SpanRecord {
+            id: live.id,
+            parent: live.parent,
+            name: live.name.clone(),
+            start_ns: live.start_ns,
+            end_ns: snapshot_ns,
+            thread: live.thread,
+            unfinished: true,
+            attrs: Vec::new(),
+        }));
+    }
+    events
 }
 
 /// Runs `f` with tracing enabled and returns its result together with
@@ -240,7 +469,7 @@ pub fn drain() -> Vec<Event> {
 /// `SECEDA_TRACE=1`) are drained and discarded; the prior enabled state
 /// is restored afterwards.
 pub fn session<T>(f: impl FnOnce() -> T) -> (T, Vec<Event>) {
-    let _guard = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = lock(&SESSION);
     let was_enabled = enabled();
     set_enabled(true);
     drop(drain());

@@ -1,6 +1,7 @@
 //! Human-readable rendering: span tree with total/self time, counter
-//! rollups, and gauge snapshots.
+//! rollups, gauge snapshots, and histogram percentiles.
 
+use crate::hist::Histogram;
 use crate::recorder::{AttrValue, Event, SpanRecord};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -8,12 +9,15 @@ use std::fmt::Write as _;
 /// Aggregated view of a drained event list.
 #[derive(Debug, Clone, Default)]
 pub struct Summary {
-    /// Completed spans in recording order.
+    /// Completed spans in recording order (snapshot records of spans
+    /// that were still open at drain time carry `unfinished: true`).
     pub spans: Vec<SpanRecord>,
     /// Total per counter name.
     pub counters: BTreeMap<&'static str, u64>,
     /// Last observed value per gauge name.
     pub gauges: BTreeMap<&'static str, f64>,
+    /// Aggregated histogram per metric name.
+    pub histograms: BTreeMap<&'static str, Histogram>,
 }
 
 impl Summary {
@@ -27,6 +31,11 @@ impl Summary {
                 Event::Gauge(g) => {
                     summary.gauges.insert(g.name, g.value);
                 }
+                Event::Hist(h) => summary
+                    .histograms
+                    .entry(h.name)
+                    .or_insert_with(Histogram::new)
+                    .record(h.value),
             }
         }
         summary
@@ -35,6 +44,11 @@ impl Summary {
     /// Spans with the given name.
     pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
         self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// The aggregated histogram for a metric, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
     }
 
     /// Self time of a span: its duration minus the durations of its
@@ -49,15 +63,15 @@ impl Summary {
         span.duration_ns().saturating_sub(children)
     }
 
-    /// Renders the span tree plus counter/gauge rollups.
+    /// Renders the span tree plus counter/gauge/histogram rollups.
     pub fn render(&self) -> String {
         self.render_depth(usize::MAX)
     }
 
     /// Like [`Summary::render`], but prunes the span tree below
     /// `max_depth` levels (roots are depth 0); elided subtrees are
-    /// replaced by a one-line count. Counters and gauges are always
-    /// rolled up in full.
+    /// replaced by a one-line count. Counters, gauges, and histograms
+    /// are always rolled up in full.
     pub fn render_depth(&self, max_depth: usize) -> String {
         let mut out = String::new();
         let roots: Vec<&SpanRecord> = self
@@ -84,6 +98,21 @@ impl Summary {
                 let _ = writeln!(out, "  {name:<width$}  {value}");
             }
         }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  n={} p50={} p90={} p99={} max={}",
+                    h.count(),
+                    fmt_metric(name, h.p50()),
+                    fmt_metric(name, h.p90()),
+                    fmt_metric(name, h.p99()),
+                    fmt_metric(name, h.max()),
+                );
+            }
+        }
         out
     }
 
@@ -96,6 +125,9 @@ impl Summary {
             fmt_duration(span.duration_ns()),
             fmt_duration(self.self_time_ns(span)),
         );
+        if span.unfinished {
+            out.push_str("  [UNFINISHED]");
+        }
         if !span.attrs.is_empty() {
             out.push_str("  [");
             for (i, (k, v)) in span.attrs.iter().enumerate() {
@@ -132,6 +164,15 @@ fn fmt_attr(v: &AttrValue) -> String {
         AttrValue::Float(f) => format!("{f:.3}"),
         AttrValue::Str(s) => format!("{s:?}"),
         AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// Formats a histogram statistic: metrics named `*_ns` are durations.
+fn fmt_metric(name: &str, value: u64) -> String {
+    if name.ends_with("_ns") {
+        fmt_duration(value)
+    } else {
+        value.to_string()
     }
 }
 

@@ -1,0 +1,231 @@
+//! Progress-heartbeat stall watchdog.
+//!
+//! Long-running engines (the SAT-attack DIP loop, packed fault-sim
+//! campaigns, ATPG, scale parses) publish monotonic [`crate::progress`]
+//! gauges; every probe additionally bumps a process-wide activity
+//! generation while a watchdog is armed. The watchdog thread polls that
+//! generation: if it stops moving for the configured timeout, the run is
+//! *hung*, not slow — the watchdog prints a stall report to stderr (live
+//! span stack per thread plus the latest progress gauges) and, when
+//! configured, aborts the process. When activity resumes the stall flag
+//! clears, so a watchdog can ride along a whole pipeline and flag each
+//! hang exactly once.
+//!
+//! ```no_run
+//! let wd = seceda_trace::Watchdog::start(std::time::Duration::from_secs(30));
+//! // ... long run ...
+//! assert!(!wd.stalled());
+//! drop(wd); // disarms
+//! ```
+//!
+//! `SECEDA_WATCHDOG=<seconds>` arms a watchdog from the environment
+//! (see [`Watchdog::start_from_env`]); `SECEDA_WATCHDOG_ABORT=1` makes a
+//! stall fatal.
+
+use crate::recorder;
+use crate::render::fmt_duration;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where stall reports are written.
+#[derive(Debug, Clone, Default)]
+pub enum StallSink {
+    /// One locked stderr write per report (the default). The write goes
+    /// to the *process* stderr — under `cargo test` it bypasses libtest's
+    /// per-test capture, since the watchdog runs on its own thread.
+    #[default]
+    Stderr,
+    /// Append each report to a shared buffer instead. Tests use this to
+    /// keep output capture deterministic and to assert on report content.
+    Buffer(Arc<Mutex<String>>),
+}
+
+/// Watchdog tuning knobs. See [`Watchdog::start_with`].
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// How long the activity generation may sit still before the run
+    /// counts as stalled.
+    pub timeout: Duration,
+    /// Poll interval of the watchdog thread. Defaults to a quarter of
+    /// the timeout, clamped to [1ms, 1s].
+    pub poll: Duration,
+    /// Abort the process (after printing the stall report) instead of
+    /// just flagging. Off by default; `SECEDA_WATCHDOG_ABORT=1` turns it
+    /// on for env-armed watchdogs.
+    pub abort_on_stall: bool,
+    /// Destination of stall reports.
+    pub sink: StallSink,
+}
+
+impl WatchdogConfig {
+    /// A report-only config with the given timeout and a derived poll
+    /// interval.
+    pub fn new(timeout: Duration) -> WatchdogConfig {
+        let poll = (timeout / 4).clamp(Duration::from_millis(1), Duration::from_secs(1));
+        WatchdogConfig {
+            timeout,
+            poll,
+            abort_on_stall: false,
+            sink: StallSink::Stderr,
+        }
+    }
+}
+
+/// An armed stall watchdog. Disarms (and joins its thread) on drop.
+#[derive(Debug)]
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    stalled: Arc<AtomicBool>,
+    stall_reports: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Arms a report-only watchdog with the given stall timeout.
+    pub fn start(timeout: Duration) -> Watchdog {
+        Watchdog::start_with(WatchdogConfig::new(timeout))
+    }
+
+    /// Arms a watchdog with full configuration.
+    pub fn start_with(config: WatchdogConfig) -> Watchdog {
+        recorder::arm_watch();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stalled = Arc::new(AtomicBool::new(false));
+        let stall_reports = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let stalled = Arc::clone(&stalled);
+            let stall_reports = Arc::clone(&stall_reports);
+            std::thread::Builder::new()
+                .name("seceda-watchdog".into())
+                .spawn(move || watch_loop(&config, &stop, &stalled, &stall_reports))
+                .expect("spawn watchdog thread")
+        };
+        Watchdog {
+            stop,
+            stalled,
+            stall_reports,
+            handle: Some(handle),
+        }
+    }
+
+    /// Arms a watchdog if `SECEDA_WATCHDOG=<seconds>` is set (fractions
+    /// allowed); `SECEDA_WATCHDOG_ABORT=1` additionally makes stalls
+    /// abort the process.
+    pub fn start_from_env() -> Option<Watchdog> {
+        let secs: f64 = std::env::var("SECEDA_WATCHDOG").ok()?.parse().ok()?;
+        if secs.is_nan() || secs <= 0.0 {
+            return None;
+        }
+        let mut config = WatchdogConfig::new(Duration::from_secs_f64(secs));
+        config.abort_on_stall = std::env::var("SECEDA_WATCHDOG_ABORT").is_ok_and(|v| v != "0");
+        Some(Watchdog::start_with(config))
+    }
+
+    /// Whether the run is stalled *right now* (no probe activity for at
+    /// least the timeout). Clears automatically when activity resumes.
+    pub fn stalled(&self) -> bool {
+        self.stalled.load(Ordering::Relaxed)
+    }
+
+    /// How many distinct stalls this watchdog has reported.
+    pub fn stall_reports(&self) -> u64 {
+        self.stall_reports.load(Ordering::Relaxed)
+    }
+
+    /// Disarms the watchdog and joins its thread. Equivalent to drop,
+    /// but explicit at call sites that want the timing visible.
+    pub fn stop(self) {}
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+        recorder::disarm_watch();
+    }
+}
+
+fn watch_loop(
+    config: &WatchdogConfig,
+    stop: &AtomicBool,
+    stalled: &AtomicBool,
+    stall_reports: &AtomicU64,
+) {
+    let mut last_gen = recorder::activity_generation();
+    let mut last_change = Instant::now();
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::park_timeout(config.poll);
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let gen = recorder::activity_generation();
+        if gen != last_gen {
+            last_gen = gen;
+            last_change = Instant::now();
+            stalled.store(false, Ordering::Relaxed);
+            continue;
+        }
+        let still_for = last_change.elapsed();
+        if still_for >= config.timeout && !stalled.load(Ordering::Relaxed) {
+            stalled.store(true, Ordering::Relaxed);
+            stall_reports.fetch_add(1, Ordering::Relaxed);
+            report_stall(still_for, &config.sink);
+            if config.abort_on_stall {
+                std::process::abort();
+            }
+        }
+    }
+}
+
+/// Writes the stall report — live span stack and progress snapshot — to
+/// the configured sink in one locked write so concurrent output cannot
+/// interleave.
+fn report_stall(still_for: Duration, sink: &StallSink) {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "seceda-trace watchdog: NO PROGRESS for {} — live span stack:\n",
+        fmt_duration(still_for.as_nanos() as u64)
+    ));
+    let live = recorder::live_spans();
+    if live.is_empty() {
+        out.push_str("  (no spans open — enable SECEDA_TRACE=1 for span-level dumps)\n");
+    }
+    for span in &live {
+        out.push_str(&format!(
+            "  [thread {}] span #{} {} (open {}{})\n",
+            span.thread,
+            span.id,
+            span.name,
+            fmt_duration(crate::recorder::now_ns().saturating_sub(span.start_ns)),
+            span.parent
+                .map(|p| format!(", parent #{p}"))
+                .unwrap_or_default(),
+        ));
+    }
+    let progress = recorder::progress_snapshot();
+    if !progress.is_empty() {
+        out.push_str("  progress gauges at stall:\n");
+        for (name, value) in &progress {
+            out.push_str(&format!("    {name} = {value}\n"));
+        }
+    }
+    match sink {
+        StallSink::Stderr => {
+            let stderr = std::io::stderr();
+            let mut lock = stderr.lock();
+            let _ = lock.write_all(out.as_bytes());
+        }
+        StallSink::Buffer(buf) => {
+            if let Ok(mut buf) = buf.lock() {
+                buf.push_str(&out);
+            }
+        }
+    }
+}

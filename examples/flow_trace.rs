@@ -1,5 +1,5 @@
-//! Flow telemetry: run both EDA flows under the structured tracer and
-//! inspect where the time and the solver effort go.
+//! Flow telemetry: run both EDA flows and the four engine hot loops
+//! under the flight recorder, and inspect where the time goes.
 //!
 //! ```sh
 //! SECEDA_TRACE=1 cargo run --example flow-trace
@@ -8,9 +8,24 @@
 //! The example force-enables the recorder so plain `cargo run` shows the
 //! same output; in library use, tracing stays off unless `SECEDA_TRACE=1`
 //! is set, and costs a single atomic load per probe when off.
+//!
+//! Besides the span trees it prints, the full session is written to
+//! `target/flow_trace.jsonl`, ready for the `seceda_obs` CLI:
+//!
+//! ```sh
+//! cargo run -p seceda-trace --bin seceda_obs -- top target/flow_trace.jsonl
+//! cargo run -p seceda-trace --bin seceda_obs -- export target/flow_trace.jsonl -o trace.json
+//! # then open trace.json in chrome://tracing or https://ui.perfetto.dev
+//! ```
 
-use seceda_core::{run_classical_flow, run_secure_flow};
-use seceda_netlist::{c17, Netlist, Word};
+use seceda_core::{
+    run_classical_flow, run_secure_flow, CompositionEngine, DesignUnderTest, SecurityEvaluation,
+};
+use seceda_lock::{sat_attack, xor_lock};
+use seceda_netlist::{c17, parse_design, write_bench, DesignFormat, Netlist, Word};
+use seceda_sim::{fault::stuck_at_universe, FaultSim};
+use seceda_testkit::bench::target_dir;
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 use seceda_trace::{drain, set_enabled, to_json_lines, Event, Summary};
 
 /// A masked slice of the AES S-box: the first 8 table entries (3 address
@@ -38,6 +53,50 @@ fn trace_both_flows(nl: &Netlist) -> Result<Vec<Event>, Box<dyn std::error::Erro
     Ok(drain())
 }
 
+/// Exercises each instrumented engine hot loop — `.bench` parsing, the
+/// SAT-attack DIP loop, packed fault-sim batches, and the composition
+/// engine's threat evaluations — so the session carries histogram
+/// samples for all four subsystems.
+fn trace_engine_histograms(sbox: &Netlist) -> Result<Vec<Event>, Box<dyn std::error::Error>> {
+    drain();
+
+    // parse: round-trip c17 and the masked S-box slice through .bench
+    // text (each parse records parse.design_ns; topo sorts record
+    // ir.topo_ns)
+    for nl in [&c17(), sbox] {
+        let text = write_bench(nl);
+        let reparsed = parse_design(&text, DesignFormat::Bench)?;
+        reparsed.topo_order()?;
+    }
+
+    // SAT attack: the incremental DIP loop records one sat.dip_iter_ns
+    // sample per iteration
+    let original = c17();
+    let locked = xor_lock(&original, 8, 7);
+    let attack = sat_attack(&locked, |x| original.evaluate(x))?.expect("c17 key recovered");
+    assert!(attack.iterations > 0);
+
+    // fault sim: 256 patterns = four 64-wide batches, one
+    // sim.fault_batch_ns sample each
+    let sim = FaultSim::new(&original)?;
+    let faults = stuck_at_universe(&original);
+    let mut rng = StdRng::seed_from_u64(0xF10A);
+    let patterns: Vec<Vec<bool>> = (0..256)
+        .map(|_| (0..original.inputs().len()).map(|_| rng.gen()).collect())
+        .collect();
+    sim.coverage(&patterns, &faults);
+
+    // compose: one full multi-threat evaluation records four
+    // compose.threat_ns samples
+    let mut engine = CompositionEngine::new(
+        DesignUnderTest::new(original),
+        SecurityEvaluation::default(),
+    );
+    engine.evaluate("flow-trace baseline")?;
+
+    Ok(drain())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     set_enabled(true);
 
@@ -58,10 +117,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sbox_events = trace_both_flows(&sbox)?;
     print!("{}", Summary::of(&sbox_events).render_depth(2));
 
-    // 3. The same events as machine-readable JSON-lines (c17 run shown;
-    //    `seceda-bench`'s trace_snapshot bin emits this format for the
-    //    snapshot pipeline).
-    println!("\n=== c17 run as JSON-lines ===");
-    print!("{}", to_json_lines(&c17_events));
+    // 3. Engine latency distributions: parse, SAT attack, fault sim,
+    //    and composition engine, with p50/p90/p99/max per metric.
+    let engine_events = trace_engine_histograms(&sbox)?;
+    let engine_summary = Summary::of(&engine_events);
+    println!("\n=== engine latency histograms (parse / sat / sim / compose) ===");
+    for metric in [
+        "parse.design_ns",
+        "ir.topo_ns",
+        "sat.dip_iter_ns",
+        "sim.fault_batch_ns",
+        "compose.threat_ns",
+    ] {
+        let h = engine_summary
+            .histogram(metric)
+            .unwrap_or_else(|| panic!("{metric}: no samples recorded"));
+        println!(
+            "{metric:<20} n={} p50={} p90={} p99={} max={}",
+            h.count(),
+            seceda_trace::fmt_duration(h.p50()),
+            seceda_trace::fmt_duration(h.p90()),
+            seceda_trace::fmt_duration(h.p99()),
+            seceda_trace::fmt_duration(h.max()),
+        );
+    }
+
+    // 4. The whole session as JSON-lines for the seceda_obs CLI
+    //    (export to Perfetto, hot-span top-N, session diffing).
+    let mut all_events = c17_events;
+    all_events.extend(sbox_events);
+    all_events.extend(engine_events);
+    let jsonl_path = target_dir().join("flow_trace.jsonl");
+    std::fs::write(&jsonl_path, to_json_lines(&all_events))?;
+    println!(
+        "\nwrote {} ({} events) — inspect with `seceda_obs top|summary|export`",
+        jsonl_path.display(),
+        all_events.len()
+    );
     Ok(())
 }

@@ -25,26 +25,39 @@ cargo test -q --offline
 echo "==> flow-trace example smoke run (release)"
 SECEDA_TRACE=1 cargo run --release --offline --example flow-trace > /dev/null
 
+echo "==> seceda_obs smoke: export + top on the flow-trace session"
+cargo run --release --offline -p seceda-trace --bin seceda_obs -- \
+    export "${CARGO_TARGET_DIR:-target}/flow_trace.jsonl" \
+    -o "${CARGO_TARGET_DIR:-target}/flow_trace_chrome.json"
+cargo run --release --offline -p seceda-trace --bin seceda_obs -- \
+    top -n 5 "${CARGO_TARGET_DIR:-target}/flow_trace.jsonl" > /dev/null
+
 echo "==> fault-sim bench smoke run (quick mode)"
 SECEDA_BENCH_QUICK=1 cargo bench --offline --bench fault_sim > /dev/null
 
-echo "==> BENCH_fault_sim.json is valid JSON"
+echo "==> BENCH_fault_sim.json passes schema validation"
 cargo run --release --offline -p seceda-bench --bin check_json -- \
     "${CARGO_TARGET_DIR:-target}/BENCH_fault_sim.json"
 
 echo "==> sat-attack bench smoke run (quick mode)"
 SECEDA_BENCH_QUICK=1 cargo bench --offline --bench sat_attack > /dev/null
 
-echo "==> BENCH_sat_attack.json is valid JSON"
+echo "==> BENCH_sat_attack.json passes schema validation"
 cargo run --release --offline -p seceda-bench --bin check_json -- \
     "${CARGO_TARGET_DIR:-target}/BENCH_sat_attack.json"
 
 echo "==> parse bench smoke run (quick mode)"
 SECEDA_BENCH_QUICK=1 cargo bench --offline --bench parse > /dev/null
 
-echo "==> BENCH_parse.json is valid JSON"
+echo "==> BENCH_parse.json passes schema validation"
 cargo run --release --offline -p seceda-bench --bin check_json -- \
     "${CARGO_TARGET_DIR:-target}/BENCH_parse.json"
+
+# Perf-regression delta table vs the committed BENCH_baseline.json.
+# Advisory by default (timings are machine-dependent); set
+# SECEDA_BENCH_STRICT=1 on a dedicated perf runner to make it gate.
+echo "==> bench_report vs BENCH_baseline.json (warn-only unless SECEDA_BENCH_STRICT=1)"
+cargo run --release --offline -p seceda-bench --bin bench_report
 
 # Opt-in scale test: parse + analyze a 10^6-gate design end to end.
 if [ "${SECEDA_VERIFY_SCALE:-0}" != "0" ]; then
