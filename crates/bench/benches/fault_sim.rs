@@ -16,7 +16,7 @@
 //! `scripts/verify.sh`.
 
 use seceda_netlist::{alu_slice, random_circuit, ripple_adder, Netlist, RandomCircuitConfig};
-use seceda_sim::{fault::stuck_at_universe, FaultSim};
+use seceda_sim::{fault::stuck_at_universe, FaultSim, Lane256, SimWord};
 use seceda_testkit::bench::target_dir;
 use seceda_testkit::json::Json;
 use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
@@ -27,6 +27,7 @@ struct CaseResult {
     gates: usize,
     faults: usize,
     patterns: usize,
+    lane_bits: usize,
     scalar_ns: u128,
     packed_ns: u128,
     speedup: f64,
@@ -73,6 +74,7 @@ fn run_case(
         gates: nl.num_gates(),
         faults: faults.len(),
         patterns: num_patterns,
+        lane_bits: Lane256::BITS,
         scalar_ns,
         packed_ns,
         speedup: scalar_ns as f64 / packed_ns.max(1) as f64,
@@ -107,11 +109,12 @@ fn main() {
     };
 
     println!(
-        "{:<16} {:>6} {:>7} {:>9} {:>14} {:>14} {:>9} {:>6} {:>9}",
+        "{:<16} {:>6} {:>7} {:>9} {:>9} {:>14} {:>14} {:>9} {:>6} {:>9}",
         "circuit",
         "gates",
         "faults",
         "patterns",
+        "lane_bits",
         "scalar_ns",
         "packed_ns",
         "speedup",
@@ -120,11 +123,12 @@ fn main() {
     );
     for r in &results {
         println!(
-            "{:<16} {:>6} {:>7} {:>9} {:>14} {:>14} {:>8.1}x {:>6} {:>9.4}",
+            "{:<16} {:>6} {:>7} {:>9} {:>9} {:>14} {:>14} {:>8.1}x {:>6} {:>9.4}",
             r.name,
             r.gates,
             r.faults,
             r.patterns,
+            r.lane_bits,
             r.scalar_ns,
             r.packed_ns,
             r.speedup,
@@ -142,6 +146,7 @@ fn main() {
                 .field("gates", r.gates)
                 .field("faults", r.faults)
                 .field("patterns", r.patterns)
+                .field("lane_bits", r.lane_bits)
                 .field("scalar_ns", r.scalar_ns as i64)
                 .field("packed_ns", r.packed_ns as i64)
                 .field("speedup", r.speedup)

@@ -25,6 +25,8 @@ struct CaseResult {
     name: String,
     key_width: usize,
     iterations: usize,
+    aig_clauses: usize,
+    portfolio_k: usize,
     rebuild_ns: u128,
     incremental_ns: u128,
     speedup: f64,
@@ -71,6 +73,8 @@ fn run_case(name: &str, original: &Netlist, key_width: usize, samples: usize) ->
         name: name.to_string(),
         key_width,
         iterations: incremental.iterations,
+        aig_clauses: incremental.clauses,
+        portfolio_k: incremental.portfolio_k,
         rebuild_ns,
         incremental_ns,
         speedup: rebuild_ns as f64 / incremental_ns.max(1) as f64,
@@ -109,10 +113,12 @@ fn main() {
     };
 
     println!(
-        "{:<12} {:>9} {:>10} {:>14} {:>14} {:>9} {:>11} {:>8}",
+        "{:<12} {:>9} {:>10} {:>11} {:>6} {:>14} {:>14} {:>9} {:>11} {:>8}",
         "case",
         "key_bits",
         "dip_iters",
+        "aig_clauses",
+        "k",
         "rebuild_ns",
         "incr_ns",
         "speedup",
@@ -121,10 +127,12 @@ fn main() {
     );
     for r in &results {
         println!(
-            "{:<12} {:>9} {:>10} {:>14} {:>14} {:>8.1}x {:>11} {:>8}",
+            "{:<12} {:>9} {:>10} {:>11} {:>6} {:>14} {:>14} {:>8.1}x {:>11} {:>8}",
             r.name,
             r.key_width,
             r.iterations,
+            r.aig_clauses,
+            r.portfolio_k,
             r.rebuild_ns,
             r.incremental_ns,
             r.speedup,
@@ -146,6 +154,8 @@ fn main() {
                 .field("case", r.name.as_str())
                 .field("key_width", r.key_width)
                 .field("dip_iterations", r.iterations)
+                .field("aig_clauses", r.aig_clauses)
+                .field("portfolio_k", r.portfolio_k)
                 .field("rebuild_ns", r.rebuild_ns as i64)
                 .field("incremental_ns", r.incremental_ns as i64)
                 .field("speedup", r.speedup)

@@ -59,6 +59,7 @@ pub fn result_schema(bench: &str) -> Option<&'static [(&'static str, FieldKind)]
             ("gates", Int),
             ("faults", Int),
             ("patterns", Int),
+            ("lane_bits", Int),
             ("scalar_ns", Int),
             ("packed_ns", Int),
             ("speedup", Num),
@@ -69,6 +70,8 @@ pub fn result_schema(bench: &str) -> Option<&'static [(&'static str, FieldKind)]
             ("case", Str),
             ("key_width", Int),
             ("dip_iterations", Int),
+            ("aig_clauses", Int),
+            ("portfolio_k", Int),
             ("rebuild_ns", Int),
             ("incremental_ns", Int),
             ("speedup", Num),
@@ -180,8 +183,8 @@ mod tests {
     fn fault_sim_doc() -> String {
         r#"{"bench":"fault_sim","quick":true,"results":[
             {"circuit":"ripple_adder_4","gates":21,"faults":58,"patterns":16,
-             "scalar_ns":1000,"packed_ns":100,"speedup":10.0,"match":true,
-             "coverage":0.97}]}"#
+             "lane_bits":256,"scalar_ns":1000,"packed_ns":100,"speedup":10.0,
+             "match":true,"coverage":0.97}]}"#
             .into()
     }
 
@@ -190,6 +193,7 @@ mod tests {
         assert_eq!(validate_bench_text(&fault_sim_doc()).unwrap(), "fault_sim");
         let sat = r#"{"bench":"sat_attack","quick":false,"results":[
             {"case":"c17_xor4","key_width":4,"dip_iterations":2,
+             "aig_clauses":120,"portfolio_k":4,
              "rebuild_ns":500,"incremental_ns":200,"speedup":2.5,
              "iterations_match":true,"keys_correct":true}]}"#;
         assert_eq!(validate_bench_text(sat).unwrap(), "sat_attack");

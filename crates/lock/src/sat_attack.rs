@@ -8,19 +8,30 @@
 //! equivalence class of wrong keys. When no DIP remains, any surviving
 //! key is functionally correct.
 //!
-//! [`sat_attack`] keeps ONE live solver across the whole DIP loop: the
-//! two keyed copies and the difference miter are encoded exactly once,
-//! and each iteration appends only the two freshly constrained
-//! observation copies through the [`CnfBuilder`] impl on [`Solver`].
-//! Learned clauses survive across iterations, so later (harder) DIP
-//! queries start from everything the solver already derived. The
-//! rebuild-from-scratch baseline is kept as [`sat_attack_rebuild`] for
+//! [`sat_attack`] keeps ONE live solver across the whole DIP loop, and
+//! encodes through a structurally-hashed AIG ([`seceda_sat::Aig`]): the
+//! two keyed copies share every node that does not depend on the key
+//! (they read the same input nodes), the difference miter folds away
+//! key-independent outputs at construction time, and each iteration's
+//! two observation copies hash-cons against everything already built —
+//! the persistent [`seceda_sat::AigCnf`] map emits clauses only for
+//! genuinely new nodes. Learned clauses survive across iterations, so
+//! later (harder) DIP queries start from everything the solver already
+//! derived. Solving goes through a [`Portfolio`] of heuristic-diversified
+//! solvers racing each query (sized from `SECEDA_PORTFOLIO` or the
+//! machine's parallelism); every observable output — each DIP and the
+//! final key — is canonicalized to the lexicographically smallest
+//! satisfying assignment, so the attack's result is a property of the
+//! formula regardless of encoding, portfolio size, or worker count. The
+//! rebuild-from-scratch baseline is kept as [`sat_attack_rebuild`]
+//! (direct Tseitin encoding, fresh solver per iteration) for
 //! differential testing and benchmarking.
 
 use crate::locking::LockedNetlist;
 use seceda_netlist::NetlistError;
 use seceda_sat::{
-    encode_netlist, encode_netlist_bound, Cnf, CnfBuilder, Lit, SatResult, Signal, Solver, Var,
+    encode_netlist, lower_netlist_bound, Aig, AigCnf, AigLit, Cnf, CnfBuilder, Lit, Portfolio,
+    SatResult, Solver, Var,
 };
 
 /// Outcome of a SAT attack.
@@ -37,6 +48,12 @@ pub struct SatAttackResult {
     /// Solver conflicts spent in each DIP iteration (the final entry is
     /// the key-extraction solve).
     pub conflict_deltas: Vec<u64>,
+    /// Problem clauses in the final solver state: for [`sat_attack`] the
+    /// AIG-encoded scaffold plus every observation copy; for
+    /// [`sat_attack_rebuild`] the last direct re-encoding.
+    pub clauses: usize,
+    /// Number of racing portfolio members (1 for the rebuild baseline).
+    pub portfolio_k: usize,
 }
 
 /// Encodes the attack scaffolding — two copies of the locked circuit
@@ -105,41 +122,109 @@ fn encode_observation<B: CnfBuilder>(
     Ok(())
 }
 
-/// Appends one observation `(x_hat, y_hat)` with the functional inputs
-/// *constant-folded* through the circuit: only the key-dependent cone
-/// survives as variables and clauses, so each DIP iteration grows the
-/// live formula by a handful of clauses instead of two full circuit
-/// copies. Semantically identical to [`encode_observation`] — both pin
-/// the same function of the key variables — which is what keeps the
-/// lex-min DIP transcript (and hence the iteration count) in exact
-/// agreement with the rebuild baseline.
-fn encode_observation_folded<B: CnfBuilder>(
-    locked: &LockedNetlist,
-    sink: &mut B,
+/// The persistent AIG-backed attack encoding state: one node table, one
+/// node→literal map, and the input nodes for X and both key copies, all
+/// shared across the scaffold and every observation copy.
+struct AigScaffold {
+    aig: Aig,
+    map: AigCnf,
     const_false: Lit,
-    k1: &[Var],
-    k2: &[Var],
+    x_vars: Vec<Var>,
+    k1: Vec<Var>,
+    k1_nodes: Vec<AigLit>,
+    k2_nodes: Vec<AigLit>,
+    diff: Lit,
+}
+
+/// Encodes the attack scaffolding through a structurally-hashed AIG:
+/// both keyed copies are lowered over the *same* X input nodes, so every
+/// key-independent cone is built (and encoded to CNF) exactly once, and
+/// the difference miter folds to constant-false for outputs the key
+/// cannot influence. `const_false` must already be pinned false in
+/// `sink`.
+fn encode_attack_scaffold_aig<B: CnfBuilder>(
+    locked: &LockedNetlist,
+    const_false: Lit,
+    sink: &mut B,
+) -> Result<AigScaffold, NetlistError> {
+    let nl = &locked.netlist;
+    let nx = locked.num_original_inputs;
+    let nk = locked.key_width();
+    let mut aig = Aig::new();
+    let mut map = AigCnf::new(const_false);
+    let x_vars: Vec<Var> = (0..nx).map(|_| sink.new_var()).collect();
+    let k1: Vec<Var> = (0..nk).map(|_| sink.new_var()).collect();
+    let k2: Vec<Var> = (0..nk).map(|_| sink.new_var()).collect();
+    let x_nodes: Vec<AigLit> = x_vars.iter().map(|v| aig.input(v.pos())).collect();
+    let k1_nodes: Vec<AigLit> = k1.iter().map(|v| aig.input(v.pos())).collect();
+    let k2_nodes: Vec<AigLit> = k2.iter().map(|v| aig.input(v.pos())).collect();
+
+    let bind1: Vec<AigLit> = x_nodes.iter().chain(&k1_nodes).copied().collect();
+    let outs1 = lower_netlist_bound(nl, &mut aig, &bind1, sink)?;
+    let bind2: Vec<AigLit> = x_nodes.iter().chain(&k2_nodes).copied().collect();
+    let outs2 = lower_netlist_bound(nl, &mut aig, &bind2, sink)?;
+
+    // difference miter, folded in the AIG: key-independent outputs are
+    // the same node in both copies and vanish as XOR(n, n) = false
+    let mut diff_edge = AigLit::FALSE;
+    for (&o1, &o2) in outs1.iter().zip(&outs2) {
+        let d = aig.xor(o1, o2);
+        diff_edge = aig.or(diff_edge, d);
+    }
+    let diff = map.lit_of(&aig, diff_edge, sink);
+    Ok(AigScaffold {
+        aig,
+        map,
+        const_false,
+        x_vars,
+        k1,
+        k1_nodes,
+        k2_nodes,
+        diff,
+    })
+}
+
+/// Appends one observation `(x_hat, y_hat)` with the functional inputs
+/// bound to constants and folded through the AIG: only the key-dependent
+/// cone survives as nodes, and of those only the nodes not already
+/// hash-consed by earlier iterations cost clauses. Semantically
+/// identical to [`encode_observation`] — both pin the same function of
+/// the key variables — which is what keeps the lex-min DIP transcript
+/// (and hence the iteration count) in exact agreement with the rebuild
+/// baseline.
+fn encode_observation_aig<B: CnfBuilder>(
+    locked: &LockedNetlist,
+    sc: &mut AigScaffold,
+    sink: &mut B,
     x_hat: &[bool],
     y_hat: &[bool],
 ) -> Result<(), NetlistError> {
     let nl = &locked.netlist;
-    for key_vars in [k1, k2] {
-        let bindings: Vec<Signal> = x_hat
+    for copy in 0..2 {
+        let key_nodes = if copy == 0 {
+            &sc.k1_nodes
+        } else {
+            &sc.k2_nodes
+        };
+        let bindings: Vec<AigLit> = x_hat
             .iter()
-            .map(|&b| Signal::Const(b))
-            .chain(key_vars.iter().map(|kv| Signal::Lit(kv.pos())))
+            .map(|&b| AigLit::constant(b))
+            .chain(key_nodes.iter().copied())
             .collect();
-        let outs = encode_netlist_bound(nl, &bindings, const_false, sink)?;
-        for (out, &yv) in outs.iter().zip(y_hat) {
-            match out {
-                Signal::Const(b) => {
-                    if *b != yv {
+        let outs = lower_netlist_bound(nl, &mut sc.aig, &bindings, sink)?;
+        for (&out, &yv) in outs.iter().zip(y_hat) {
+            match out.as_const() {
+                Some(b) => {
+                    if b != yv {
                         // the observation contradicts a key-independent
                         // output; make the formula unsatisfiable
-                        sink.add_clause([const_false]);
+                        sink.add_clause([sc.const_false]);
                     }
                 }
-                Signal::Lit(l) => sink.add_clause([if yv { *l } else { !*l }]),
+                None => {
+                    let l = sc.map.lit_of(&sc.aig, out, sink);
+                    sink.add_clause([if yv { l } else { !l }]);
+                }
             }
         }
     }
@@ -162,36 +247,44 @@ fn build_attack_cnf(
     Ok((cnf, x_vars, k1, k2, diff))
 }
 
-/// Refines a found DIP into the *lexicographically smallest* DIP of the
-/// current formula (bit-by-bit, preferring `false`), using incremental
-/// assumption-only queries on the same solver.
+/// Refines a satisfying model into the *lexicographically smallest*
+/// assignment of `vars` consistent with `base` (bit-by-bit, preferring
+/// `false`), using incremental assumption-only queries.
 ///
-/// This pins the attack's whole query transcript to a property of the
-/// formula instead of solver heuristics, so the incremental and the
-/// rebuild-per-iteration attacks walk identical DIP sequences and agree
-/// on iteration counts exactly — the invariant the differential suite
-/// and the benchmark check.
-fn canonical_dip(solver: &mut Solver, x_vars: &[Var], diff: Lit, model: &[bool]) -> Vec<bool> {
-    let mut assumptions = vec![diff];
-    let mut current: Vec<bool> = x_vars.iter().map(|v| model[v.index()]).collect();
-    for i in 0..x_vars.len() {
+/// The result is a property of the formula alone — independent of the
+/// starting model, the solver's heuristic state, and (for a portfolio)
+/// which member answered. Canonicalizing both the DIPs and the final key
+/// pins the attack's whole observable output to the formula, so the
+/// incremental and the rebuild-per-iteration attacks walk identical DIP
+/// sequences, agree on iteration counts exactly, and recover the same
+/// key bit-for-bit — the invariants the differential suite and the
+/// benchmark check, for any worker count and portfolio size.
+fn lex_min_model(
+    solve: &mut impl FnMut(&[Lit]) -> SatResult,
+    vars: &[Var],
+    base: &[Lit],
+    model: &[bool],
+) -> Vec<bool> {
+    let mut assumptions = base.to_vec();
+    let mut current: Vec<bool> = vars.iter().map(|v| model[v.index()]).collect();
+    for i in 0..vars.len() {
         if current[i] {
             // can this bit be false? (the current model only witnesses true)
-            assumptions.push(x_vars[i].neg());
-            match solver.solve_with_assumptions(&assumptions) {
+            assumptions.push(vars[i].neg());
+            match solve(&assumptions) {
                 SatResult::Sat(m) => {
                     current[i] = false;
-                    for (j, xj) in x_vars.iter().enumerate().skip(i + 1) {
-                        current[j] = m[xj.index()];
+                    for (j, vj) in vars.iter().enumerate().skip(i + 1) {
+                        current[j] = m[vj.index()];
                     }
                 }
                 SatResult::Unsat => {
                     assumptions.pop();
-                    assumptions.push(x_vars[i].pos());
+                    assumptions.push(vars[i].pos());
                 }
             }
         } else {
-            assumptions.push(x_vars[i].neg());
+            assumptions.push(vars[i].neg());
         }
     }
     current
@@ -200,8 +293,9 @@ fn canonical_dip(solver: &mut Solver, x_vars: &[Var], diff: Lit, model: &[bool])
 /// Runs the SAT attack against `locked`, using `oracle` as the activated
 /// chip (a function from functional inputs to outputs).
 ///
-/// The attack is fully incremental: one netlist-pair encoding total, one
-/// persistent solver for every DIP query and the final key extraction.
+/// The attack is fully incremental: one structurally-hashed AIG and one
+/// persistent solver portfolio carry the scaffold, every observation
+/// copy, every DIP query, and the final key extraction.
 ///
 /// Returns a functionally correct key, or `None` if even the final
 /// key-extraction step is unsatisfiable (cannot happen for consistently
@@ -216,12 +310,13 @@ pub fn sat_attack(
 ) -> Result<Option<SatAttackResult>, NetlistError> {
     let mut sp = seceda_trace::span("lock.sat_attack");
     sp.attr("key_width", locked.key_width());
-    let mut solver = Solver::new(0);
-    let (x_vars, k1, _k2, diff) = encode_attack_scaffold(locked, &mut solver)?;
-    // a literal that is false in every model, for lowering residual
-    // constants in the folded observation copies
+    let mut solver = Portfolio::from_env(0);
+    sp.attr("portfolio_k", solver.k());
+    // a literal that is false in every model, for lowering AIG constants
     let const_false = solver.new_var().pos();
     solver.add_clause([!const_false]);
+    let mut sc = encode_attack_scaffold_aig(locked, const_false, &mut solver)?;
+    let diff = sc.diff;
     let mut iterations = 0usize;
     let mut conflict_deltas: Vec<u64> = Vec::new();
     loop {
@@ -233,18 +328,15 @@ pub fn sat_attack(
             SatResult::Sat(model) => {
                 iterations += 1;
                 seceda_trace::progress("lock.dip_iterations", iterations as u64);
-                let x_hat = canonical_dip(&mut solver, &x_vars, diff, &model);
+                let x_hat = lex_min_model(
+                    &mut |a| solver.solve_with_assumptions(a),
+                    &sc.x_vars,
+                    &[diff],
+                    &model,
+                );
                 conflict_deltas.push(solver.num_conflicts - before);
                 let y_hat = oracle(&x_hat);
-                encode_observation_folded(
-                    locked,
-                    &mut solver,
-                    const_false,
-                    &k1,
-                    &_k2,
-                    &x_hat,
-                    &y_hat,
-                )?;
+                encode_observation_aig(locked, &mut sc, &mut solver, &x_hat, &y_hat)?;
             }
             SatResult::Unsat => {
                 conflict_deltas.push(solver.num_conflicts - before);
@@ -254,18 +346,32 @@ pub fn sat_attack(
                 let before = solver.num_conflicts;
                 let result = match solver.solve() {
                     SatResult::Sat(model) => {
+                        // canonicalize to the lex-min key so the result
+                        // is a property of the formula, not of which
+                        // portfolio member answered first
+                        let key = lex_min_model(
+                            &mut |a| solver.solve_with_assumptions(a),
+                            &sc.k1,
+                            &[],
+                            &model,
+                        );
                         conflict_deltas.push(solver.num_conflicts - before);
                         Some(SatAttackResult {
-                            key: k1.iter().map(|v| model[v.index()]).collect(),
+                            key,
                             iterations,
                             conflicts: solver.num_conflicts,
                             conflict_deltas,
+                            clauses: solver.primary().num_problem_clauses(),
+                            portfolio_k: solver.k(),
                         })
                     }
                     SatResult::Unsat => None,
                 };
                 seceda_trace::counter("lock.dip_iterations", iterations as u64);
+                seceda_trace::counter("sat.aig_nodes", sc.aig.num_nodes() as u64);
+                seceda_trace::counter("sat.aig_hash_hits", sc.aig.hash_hits());
                 sp.attr("iterations", iterations);
+                sp.attr("aig_nodes", sc.aig.num_nodes());
                 return Ok(result);
             }
         }
@@ -299,7 +405,12 @@ pub fn sat_attack_rebuild(
         match solver.solve_with_assumptions(&[diff]) {
             SatResult::Sat(model) => {
                 iterations += 1;
-                let x_hat = canonical_dip(&mut solver, &x_vars, diff, &model);
+                let x_hat = lex_min_model(
+                    &mut |a| solver.solve_with_assumptions(a),
+                    &x_vars,
+                    &[diff],
+                    &model,
+                );
                 conflicts += solver.num_conflicts;
                 conflict_deltas.push(solver.num_conflicts);
                 let y_hat = oracle(&x_hat);
@@ -313,13 +424,25 @@ pub fn sat_attack_rebuild(
                 let mut solver = Solver::from_cnf(&cnf);
                 return Ok(match solver.solve() {
                     SatResult::Sat(model) => {
+                        // same lex-min canonicalization as the
+                        // incremental attack: both walk identical DIP
+                        // transcripts over identical observation sets,
+                        // so the canonical keys agree bit-for-bit
+                        let key = lex_min_model(
+                            &mut |a| solver.solve_with_assumptions(a),
+                            &k1,
+                            &[],
+                            &model,
+                        );
                         conflicts += solver.num_conflicts;
                         conflict_deltas.push(solver.num_conflicts);
                         Some(SatAttackResult {
-                            key: k1.iter().map(|v| model[v.index()]).collect(),
+                            key,
                             iterations,
                             conflicts,
                             conflict_deltas,
+                            clauses: cnf.clauses().len(),
+                            portfolio_k: 1,
                         })
                     }
                     SatResult::Unsat => None,

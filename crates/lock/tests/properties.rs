@@ -1,12 +1,15 @@
 //! Property-based tests for logic locking.
 
 use seceda_lock::{mux_lock, sat_attack, sat_attack_rebuild, sfll_hd0, xor_lock, LockedNetlist};
-use seceda_netlist::{random_circuit, RandomCircuitConfig};
+use seceda_netlist::{parse_bench, random_circuit, RandomCircuitConfig};
+use seceda_testkit::par;
 use seceda_testkit::prelude::*;
 
-/// Differential check: the incremental persistent-solver attack must
-/// take exactly as many DIP iterations as the rebuild-per-iteration
-/// baseline and recover a functionally equivalent key.
+/// Differential check: the incremental AIG-encoded portfolio attack must
+/// take exactly as many DIP iterations as the direct-encoded
+/// rebuild-per-iteration baseline, recover the *bit-identical* key (both
+/// canonicalize to the lex-min key of the final observation set), and
+/// that key must be functionally correct.
 fn assert_incremental_matches_rebuild(locked: &LockedNetlist, original: &seceda_netlist::Netlist) {
     let oracle = |x: &[bool]| original.evaluate(x);
     let inc = sat_attack(locked, oracle)
@@ -18,6 +21,10 @@ fn assert_incremental_matches_rebuild(locked: &LockedNetlist, original: &seceda_
     assert_eq!(
         inc.iterations, reb.iterations,
         "incremental and rebuild attacks must agree on DIP count"
+    );
+    assert_eq!(
+        inc.key, reb.key,
+        "both attacks canonicalize to the lex-min key and must agree bit-for-bit"
     );
     let n = locked.num_original_inputs;
     for pattern in 0..(1u32 << n) {
@@ -45,10 +52,56 @@ fn incremental_attack_matches_rebuild_on_all_schemes() {
 }
 
 #[test]
+fn incremental_attack_matches_rebuild_on_parsed_c17() {
+    // same differential property, but on a netlist that went through the
+    // .bench frontend instead of the builtin constructor — pins the AIG
+    // lowering against parser-produced gate structures (n-ary fanins,
+    // explicit buffers)
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../netlist/tests/data/c17.bench"
+    ))
+    .expect("c17.bench fixture");
+    let nl = parse_bench(&text).expect("c17.bench parses");
+    assert_incremental_matches_rebuild(&xor_lock(&nl, 8, 13), &nl);
+}
+
+#[test]
 fn incremental_attack_matches_rebuild_on_random_hosts() {
     for seed in [1u64, 17, 91] {
         let nl = host(seed, 18);
         assert_incremental_matches_rebuild(&xor_lock(&nl, 6, seed ^ 0xC), &nl);
+    }
+}
+
+#[test]
+fn attack_result_is_identical_for_every_portfolio_size_and_worker_count() {
+    // the portfolio races nondeterministically, but lex-min DIP and key
+    // canonicalization make the attack's observable result a property of
+    // the formula: any worker count (which also sets the portfolio size
+    // via max_workers) must produce the same key and iteration count
+    let nl = seceda_netlist::c17();
+    let locked = xor_lock(&nl, 10, 5);
+    let oracle = |x: &[bool]| nl.evaluate(x);
+    let baseline = par::with_workers(1, || sat_attack(&locked, oracle))
+        .expect("attack runs")
+        .expect("key found");
+    for workers in [2usize, 3, 8] {
+        let r = par::with_workers(workers, || sat_attack(&locked, oracle))
+            .expect("attack runs")
+            .expect("key found");
+        assert_eq!(r.iterations, baseline.iterations, "workers = {workers}");
+        assert_eq!(r.key, baseline.key, "workers = {workers}");
+        assert_eq!(
+            r.conflict_deltas.len(),
+            r.iterations + 2,
+            "workers = {workers}"
+        );
+        assert_eq!(
+            r.conflicts,
+            r.conflict_deltas.iter().sum::<u64>(),
+            "workers = {workers}"
+        );
     }
 }
 

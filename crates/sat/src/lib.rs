@@ -14,12 +14,21 @@
 //!   reduction, conflict-clause minimization, phase saving, Luby
 //!   restarts, and incremental solving under assumptions with on-the-fly
 //!   variable/clause addition;
+//! * [`Portfolio`] — K heuristic-diversified solvers ([`SolverConfig`])
+//!   racing each query with first-answer-wins cooperative cancellation
+//!   and winner-to-siblings glue-clause sharing;
 //! * [`Cnf`] / [`Lit`] / [`Var`] — formula representation;
 //! * [`CnfBuilder`] — the clause-sink trait shared by [`Cnf`] and
 //!   [`Solver`], so encodings can target a live solver incrementally;
 //!   [`GatedCnf`] gates a clause group on a selector literal;
 //! * [`encode`] — Tseitin encoding of netlists, miter construction, and
-//!   selector-gated faulty-cone encoding for incremental ATPG.
+//!   selector-gated faulty-cone encoding for incremental ATPG;
+//! * [`aig`] — structurally-hashed and-inverter graphs: netlists lower
+//!   into a hash-consed AND/XOR node table (constant propagation,
+//!   two-level XOR re-discovery), then to CNF through a persistent
+//!   node→literal map, so repeated encodings of shared logic — the two
+//!   keyed copies of a SAT-attack miter, the per-DIP observation
+//!   circuits — emit each distinct cone exactly once.
 //!
 //! # Example
 //!
@@ -38,13 +47,17 @@
 //! }
 //! ```
 
+pub mod aig;
 pub mod encode;
 
 mod cnf;
+mod portfolio;
 mod solver;
 
+pub use aig::{encode_netlist_aig, lower_netlist_bound, Aig, AigCnf, AigLit};
 pub use cnf::{Cnf, CnfBuilder, GatedCnf, Lit, Var};
 pub use encode::{
     encode_faulty_cone, encode_netlist, encode_netlist_bound, miter, NetlistEncoding, Signal,
 };
-pub use solver::{SatResult, Solver};
+pub use portfolio::Portfolio;
+pub use solver::{SatResult, Solver, SolverConfig};

@@ -1,0 +1,274 @@
+//! Portfolio solving: K diversified CDCL solvers racing on one formula.
+//!
+//! Every member holds a full copy of the clause database (the
+//! [`CnfBuilder`] impl broadcasts variables and clauses) but searches
+//! with different heuristics — initial phases, restart cadence, VSIDS
+//! decay, clause-diet aggressiveness ([`SolverConfig::portfolio_member`]).
+//! A query races all members over [`seceda_testkit::par::par_map_mut`]
+//! with a shared cancellation flag: the first member to answer raises
+//! the flag, the rest stand down promptly, and the *lowest-index*
+//! finished member is declared the winner (so the serial single-worker
+//! schedule, where member 0 always runs first, is a fixed point). After
+//! each race the winner's freshly learned glue clauses are imported into
+//! the other members, so the portfolio's members converge on the hard
+//! core of the formula instead of each rediscovering it.
+//!
+//! SAT/UNSAT answers are identical across members by construction (same
+//! formula); *models* may differ, so callers needing run-to-run
+//! determinism must canonicalize the model (as the SAT attack does with
+//! its lex-min distinguishing inputs and keys).
+
+use crate::cnf::{CnfBuilder, Lit, Var};
+use crate::solver::{SatResult, Solver, SolverConfig};
+use seceda_testkit::par;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The default ceiling on portfolio size when sizing from the machine.
+const MAX_DEFAULT_K: usize = 4;
+
+/// K racing solvers behind one incremental [`CnfBuilder`] facade.
+#[derive(Debug)]
+pub struct Portfolio {
+    members: Vec<Solver>,
+    /// Per-member count of glue clauses already exported to siblings.
+    glue_cursor: Vec<usize>,
+    /// Sum over queries of the winning member's conflict delta (the
+    /// portfolio-level analogue of [`Solver::num_conflicts`]).
+    pub num_conflicts: u64,
+    /// Winner index of the most recent query.
+    last_winner: usize,
+}
+
+impl Portfolio {
+    /// A portfolio of `k` members (at least 1) over `num_vars`
+    /// variables, configured via [`SolverConfig::portfolio_member`].
+    /// Member 0 always runs the default configuration, so `k = 1` is
+    /// behaviourally identical to a plain [`Solver`].
+    pub fn new(num_vars: usize, k: usize) -> Self {
+        let k = k.max(1);
+        Portfolio {
+            members: (0..k)
+                .map(|i| Solver::with_config(num_vars, SolverConfig::portfolio_member(i)))
+                .collect(),
+            glue_cursor: vec![0; k],
+            num_conflicts: 0,
+            last_winner: 0,
+        }
+    }
+
+    /// Sizes the portfolio from the environment: `SECEDA_PORTFOLIO` if
+    /// set, else the parallelism budget ([`par::max_workers`]) capped at
+    /// 4 — racing more members than cores slows every member down.
+    pub fn from_env(num_vars: usize) -> Self {
+        let k = std::env::var("SECEDA_PORTFOLIO")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&k| k >= 1)
+            .unwrap_or_else(|| par::max_workers().min(MAX_DEFAULT_K));
+        Portfolio::new(num_vars, k)
+    }
+
+    /// Number of members.
+    pub fn k(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Winner index of the most recent query (0 before any query).
+    pub fn last_winner(&self) -> usize {
+        self.last_winner
+    }
+
+    /// The primary member (index 0), for introspection.
+    pub fn primary(&self) -> &Solver {
+        &self.members[0]
+    }
+
+    /// Solves the formula.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under assumptions by racing every member; first answer
+    /// wins, lowest index on simultaneous finishes. The winning member's
+    /// conflict delta is added to [`Portfolio::num_conflicts`], and its
+    /// new glue clauses are shared with the other members.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if self.members.len() == 1 {
+            let m = &mut self.members[0];
+            let before = m.num_conflicts;
+            let result = m.solve_with_assumptions(assumptions);
+            self.num_conflicts += m.num_conflicts - before;
+            self.last_winner = 0;
+            return result;
+        }
+        let cancel = AtomicBool::new(false);
+        let outcomes: Vec<Option<(SatResult, u64)>> =
+            par::par_map_mut(&mut self.members, |_, solver| {
+                let before = solver.num_conflicts;
+                let result = solver.solve_with_assumptions_cancellable(assumptions, &cancel)?;
+                cancel.store(true, Ordering::Relaxed);
+                Some((result, solver.num_conflicts - before))
+            });
+        let (winner, (result, delta)) = outcomes
+            .into_iter()
+            .enumerate()
+            .find_map(|(i, o)| o.map(|x| (i, x)))
+            .expect("at least one member finishes: the flag-raiser");
+        self.num_conflicts += delta;
+        self.last_winner = winner;
+        seceda_trace::counter("sat.portfolio_races", 1);
+        let mut sp = seceda_trace::span("sat.portfolio_solve");
+        sp.attr("sat.portfolio_winner", winner);
+        sp.attr("k", self.members.len());
+        self.share_winner_glue(winner);
+        result
+    }
+
+    /// Imports the winner's not-yet-shared glue clauses into every other
+    /// member. Glue clauses are logical consequences of the shared
+    /// formula, so importing them preserves equivalence of the members.
+    fn share_winner_glue(&mut self, winner: usize) {
+        let fresh = self.members[winner].export_glue(self.glue_cursor[winner]);
+        self.glue_cursor[winner] = self.members[winner].num_glue();
+        if fresh.is_empty() {
+            return;
+        }
+        for (i, member) in self.members.iter_mut().enumerate() {
+            if i == winner {
+                continue;
+            }
+            for clause in &fresh {
+                member.add_clause(clause.iter().copied());
+            }
+        }
+        // imported clauses are problem clauses to the recipients; keep
+        // every sibling cursor pointing at its own learned glue only
+        seceda_trace::counter("sat.portfolio_shared_clauses", fresh.len() as u64);
+    }
+}
+
+impl CnfBuilder for Portfolio {
+    fn new_var(&mut self) -> Var {
+        let mut vars = self.members.iter_mut().map(Solver::new_var);
+        let v = vars.next().expect("at least one member");
+        debug_assert!(vars.all(|w| w == v), "member variable spaces diverged");
+        // non-debug builds still need the iterator driven
+        for _ in vars {}
+        v
+    }
+
+    fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for member in &mut self.members {
+            member.add_clause(clause.iter().copied());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+
+    fn pigeonhole(pigeons: usize, holes: usize) -> Cnf {
+        let mut cnf = Cnf::new();
+        let mut grid = Vec::new();
+        for _ in 0..pigeons {
+            let row: Vec<Var> = (0..holes).map(|_| cnf.new_var()).collect();
+            grid.push(row);
+        }
+        for row in &grid {
+            cnf.add_clause(row.iter().map(|v| v.pos()));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    cnf.add_clause([grid[p1][h].neg(), grid[p2][h].neg()]);
+                }
+            }
+        }
+        cnf
+    }
+
+    fn load(portfolio: &mut Portfolio, cnf: &Cnf) {
+        for _ in 0..cnf.num_vars() {
+            portfolio.new_var();
+        }
+        for clause in cnf.clauses() {
+            portfolio.add_clause(clause.iter().copied());
+        }
+    }
+
+    #[test]
+    fn portfolio_agrees_with_single_solver_on_answers() {
+        for workers in [1usize, 3] {
+            par::with_workers(workers, || {
+                let sat = pigeonhole(4, 4);
+                let unsat = pigeonhole(5, 4);
+                for (cnf, expect_sat) in [(&sat, true), (&unsat, false)] {
+                    let mut p = Portfolio::new(0, 3);
+                    load(&mut p, cnf);
+                    let result = p.solve();
+                    assert_eq!(result.is_sat(), expect_sat, "workers = {workers}");
+                    if let SatResult::Sat(model) = result {
+                        assert!(cnf.is_satisfied_by(&model));
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn portfolio_of_one_matches_plain_solver_exactly() {
+        let cnf = pigeonhole(5, 4);
+        let mut p = Portfolio::new(0, 1);
+        load(&mut p, &cnf);
+        assert_eq!(p.solve(), SatResult::Unsat);
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        // identical default config => identical search => identical stats
+        assert_eq!(p.num_conflicts, s.num_conflicts);
+    }
+
+    #[test]
+    fn members_diversify_but_agree_under_assumptions() {
+        let mut cnf = Cnf::new();
+        let vars = cnf.new_vars(6);
+        for w in vars.windows(2) {
+            cnf.add_clause([w[0].neg(), w[1].pos()]); // implication chain
+        }
+        let mut p = Portfolio::new(0, 4);
+        load(&mut p, &cnf);
+        assert!(p.solve_with_assumptions(&[vars[0].pos()]).is_sat());
+        assert_eq!(
+            p.solve_with_assumptions(&[vars[0].pos(), vars[5].neg()]),
+            SatResult::Unsat
+        );
+        // still usable incrementally after a mixed history
+        let extra = p.new_var();
+        p.add_clause([extra.pos()]);
+        assert!(p.solve().is_sat());
+    }
+
+    #[test]
+    fn cancellable_solve_stops_when_flag_preraised() {
+        let cnf = pigeonhole(7, 6); // hard enough to not finish instantly
+        let mut s = Solver::from_cnf(&cnf);
+        let flag = AtomicBool::new(true);
+        // the flag is already raised: the solve must come back None
+        // (promptly) instead of completing the full refutation
+        assert_eq!(s.solve_with_assumptions_cancellable(&[], &flag), None);
+        // and the solver remains usable and correct afterwards
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_accounting_sums_winner_deltas() {
+        let cnf = pigeonhole(5, 4);
+        let mut p = Portfolio::new(0, 2);
+        load(&mut p, &cnf);
+        let _ = p.solve();
+        assert!(p.num_conflicts > 0);
+        assert!(p.last_winner() < 2);
+    }
+}

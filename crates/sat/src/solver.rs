@@ -1,13 +1,16 @@
 //! Conflict-driven clause-learning (CDCL) SAT solver.
 //!
-//! Feature set: two-watched-literal propagation, first-UIP conflict
-//! analysis with self-subsumption clause minimization and
-//! non-chronological backtracking, heap-ordered VSIDS decisions, phase
-//! saving, Luby restarts, learned-clause database reduction (LBD +
-//! clause activities, glue clauses kept), and incremental solving under
-//! assumptions with on-the-fly variable/clause addition.
+//! Feature set: two-watched-literal propagation with blocking literals,
+//! first-UIP conflict analysis with self-subsumption clause minimization
+//! and non-chronological backtracking, heap-ordered VSIDS decisions,
+//! phase saving, Luby restarts, learned-clause database reduction (LBD +
+//! clause activities, glue clauses kept), incremental solving under
+//! assumptions with on-the-fly variable/clause addition, cooperative
+//! cancellation (for portfolio racing), and tunable search heuristics
+//! via [`SolverConfig`].
 
 use crate::cnf::{Cnf, CnfBuilder, Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Result of a satisfiability query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +40,79 @@ const UNASSIGNED: i8 = -1;
 const NO_REASON: u32 = u32::MAX;
 /// Learned clauses with LBD at or below this are "glue" and never deleted.
 const GLUE_LBD: u32 = 2;
+/// Cancellation flag poll cadence in propagated literals (power of two).
+const CANCEL_POLL_MASK: u64 = 0x3FF;
+
+/// Tunable search heuristics, the axis a portfolio diversifies over.
+///
+/// [`SolverConfig::default`] reproduces the solver's historical
+/// behaviour bit-for-bit (all-false initial phases, Luby base 64, VSIDS
+/// decay 0.95, 1.2× reduction growth), so a default-configured solver is
+/// a drop-in for every pinned differential test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Seed for initial saved phases: `0` means all-false (the
+    /// historical default); any other value assigns each variable a
+    /// pseudorandom initial phase.
+    pub phase_seed: u64,
+    /// Conflicts-per-restart multiplier on the Luby sequence.
+    pub restart_base: u64,
+    /// VSIDS activity decay (`var_inc /= var_decay` per conflict).
+    pub var_decay: f64,
+    /// Growth factor of the learned-clause budget after each reduction.
+    pub reduce_growth: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            phase_seed: 0,
+            restart_base: 64,
+            var_decay: 0.95,
+            reduce_growth: 1.2,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The portfolio preset for member `i`: member 0 is always the
+    /// default configuration (so a 1-member portfolio degenerates to the
+    /// plain solver), later members diversify phases, restart cadence,
+    /// activity decay, and clause-diet aggressiveness.
+    pub fn portfolio_member(i: usize) -> Self {
+        let d = SolverConfig::default();
+        match i % 4 {
+            0 => d,
+            1 => SolverConfig {
+                // random phases + rapid restarts: a scout for easy models
+                phase_seed: 0x9E37_79B9_7F4A_7C15 ^ (i as u64),
+                restart_base: 16,
+                ..d
+            },
+            2 => SolverConfig {
+                // slow restarts + slow decay: deep-dive for hard proofs
+                restart_base: 256,
+                var_decay: 0.99,
+                ..d
+            },
+            _ => SolverConfig {
+                // random phases + aggressive clause diet
+                phase_seed: 0xD134_2543_DE82_EF95 ^ (i as u64),
+                var_decay: 0.90,
+                reduce_growth: 1.1,
+                ..d
+            },
+        }
+    }
+}
+
+/// splitmix64, for seeding per-variable initial phases.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 #[derive(Debug, Clone)]
 struct Clause {
@@ -44,6 +120,16 @@ struct Clause {
     learned: bool,
     lbd: u32,
     activity: f64,
+}
+
+/// A watch-list entry: the clause index plus a *blocking literal* — some
+/// other literal of the clause (usually the other watch). If the blocker
+/// is already true the clause is satisfied and propagation skips the
+/// clause body entirely, avoiding the cache miss on `Clause::lits`.
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
 }
 
 /// Indexed binary max-heap over variable activities.
@@ -185,9 +271,9 @@ impl VarOrder {
 #[derive(Debug, Clone)]
 pub struct Solver {
     clauses: Vec<Clause>,
-    /// `watches[l.code()]`: indices of clauses in which literal `l` is one
-    /// of the two watched literals.
-    watches: Vec<Vec<u32>>,
+    /// `watches[l.code()]`: entries for clauses in which literal `l` is
+    /// one of the two watched literals, each with a blocking literal.
+    watches: Vec<Vec<Watch>>,
     assign: Vec<i8>, // -1 unassigned / 0 false / 1 true
     level: Vec<u32>,
     reason: Vec<u32>,
@@ -212,6 +298,7 @@ pub struct Solver {
     saved_phase: Vec<bool>,
     seen: Vec<bool>,
     unsat: bool,
+    config: SolverConfig,
     /// Statistics: total conflicts encountered.
     pub num_conflicts: u64,
     /// Statistics: total decisions taken.
@@ -232,7 +319,16 @@ pub struct Solver {
 impl Solver {
     /// Creates a solver over `num_vars` variables and no clauses.
     pub fn new(num_vars: usize) -> Self {
+        Solver::with_config(num_vars, SolverConfig::default())
+    }
+
+    /// Creates a solver with explicit search heuristics (see
+    /// [`SolverConfig`]); the default config reproduces [`Solver::new`].
+    pub fn with_config(num_vars: usize, config: SolverConfig) -> Self {
         let activity = vec![0.0; num_vars];
+        let saved_phase: Vec<bool> = (0..num_vars)
+            .map(|v| config.phase_seed != 0 && splitmix64(config.phase_seed ^ v as u64) & 1 == 1)
+            .collect();
         Solver {
             clauses: Vec::new(),
             watches: vec![Vec::new(); num_vars * 2],
@@ -249,9 +345,10 @@ impl Solver {
             num_deletable_live: 0,
             max_learnts: 0.0,
             reduce_pinned: false,
-            saved_phase: vec![false; num_vars],
+            saved_phase,
             seen: vec![false; num_vars],
             unsat: false,
+            config,
             num_conflicts: 0,
             num_decisions: 0,
             num_propagations: 0,
@@ -278,7 +375,10 @@ impl Solver {
         self.level.push(0);
         self.reason.push(NO_REASON);
         self.activity.push(0.0);
-        self.saved_phase.push(false);
+        self.saved_phase.push(
+            self.config.phase_seed != 0
+                && splitmix64(self.config.phase_seed ^ v.index() as u64) & 1 == 1,
+        );
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
@@ -294,6 +394,13 @@ impl Solver {
     /// Number of clauses currently stored (problem + live learned).
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// Number of problem (non-learned) clauses currently stored — the
+    /// size of the encoding as delivered by [`CnfBuilder::add_clause`],
+    /// excluding anything the search derived itself.
+    pub fn num_problem_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learned).count()
     }
 
     /// The current VSIDS activity of a variable.
@@ -343,14 +450,14 @@ impl Solver {
             0 => self.unsat = true,
             1 => {
                 self.enqueue(clause[0], NO_REASON);
-                if self.propagate().is_some() {
+                if matches!(self.propagate(None), Propagation::Conflict(_)) {
                     self.unsat = true;
                 }
             }
             _ => {
                 let idx = self.clauses.len() as u32;
-                self.watches[clause[0].code()].push(idx);
-                self.watches[clause[1].code()].push(idx);
+                self.watch(clause[0], idx, clause[1]);
+                self.watch(clause[1], idx, clause[0]);
                 self.clauses.push(Clause {
                     lits: clause,
                     learned: false,
@@ -359,6 +466,10 @@ impl Solver {
                 });
             }
         }
+    }
+
+    fn watch(&mut self, on: Lit, clause: u32, blocker: Lit) {
+        self.watches[on.code()].push(Watch { clause, blocker });
     }
 
     fn enqueue(&mut self, l: Lit, reason: u32) {
@@ -373,9 +484,18 @@ impl Solver {
     }
 
     /// Propagates all pending assignments; returns a conflicting clause
-    /// index on conflict.
-    fn propagate(&mut self) -> Option<u32> {
+    /// index on conflict. `cancel` (when given) is polled every
+    /// [`CANCEL_POLL_MASK`]` + 1` propagated literals; on cancellation
+    /// the queue is left unfinished and [`Propagation::Cancelled`] is
+    /// returned — the caller must abandon the solve (the unpropagated
+    /// tail is picked up by the next solve's root propagation).
+    fn propagate(&mut self, cancel: Option<&AtomicBool>) -> Propagation {
         while self.qhead < self.trail.len() {
+            if let Some(flag) = cancel {
+                if self.num_propagations & CANCEL_POLL_MASK == 0 && flag.load(Ordering::Relaxed) {
+                    return Propagation::Cancelled;
+                }
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             let false_lit = !p; // literal that just became false
@@ -383,26 +503,36 @@ impl Solver {
             let mut i = 0;
             let mut conflict = None;
             while i < watch_list.len() {
-                let ci = watch_list[i];
-                match self.visit_clause(ci, false_lit) {
-                    VisitOutcome::Keep => i += 1,
+                let w = watch_list[i];
+                // blocking literal: clause already satisfied, skip body
+                if self.value_lit(w.blocker) == 1 {
+                    i += 1;
+                    continue;
+                }
+                match self.visit_clause(w.clause, false_lit) {
+                    VisitOutcome::Keep => {
+                        // refresh the blocker to the other watch, which
+                        // visit_clause left (or made) satisfied-or-free
+                        watch_list[i].blocker = self.clauses[w.clause as usize].lits[0];
+                        i += 1;
+                    }
                     VisitOutcome::Moved => {
                         watch_list.swap_remove(i);
                     }
                     VisitOutcome::Conflict => {
-                        conflict = Some(ci);
+                        conflict = Some(w.clause);
                         break;
                     }
                 }
             }
             self.watches[false_lit.code()] = watch_list;
-            if conflict.is_some() {
+            if let Some(ci) = conflict {
                 // flush the propagation queue so the trail stays coherent
                 self.qhead = self.trail.len();
-                return conflict;
+                return Propagation::Conflict(ci);
             }
         }
-        None
+        Propagation::Quiescent
     }
 
     fn visit_clause(&mut self, ci: u32, false_lit: Lit) -> VisitOutcome {
@@ -423,8 +553,8 @@ impl Solver {
             if self.value_lit(lk) != 0 {
                 let c = &mut self.clauses[ci as usize].lits;
                 c.swap(1, k);
-                let new_watch = c[1];
-                self.watches[new_watch.code()].push(ci);
+                let (new_watch, blocker) = (c[1], c[0]);
+                self.watch(new_watch, ci, blocker);
                 return VisitOutcome::Moved;
             }
         }
@@ -581,8 +711,8 @@ impl Solver {
             return NO_REASON;
         }
         let idx = self.clauses.len() as u32;
-        self.watches[clause[0].code()].push(idx);
-        self.watches[clause[1].code()].push(idx);
+        self.watch(clause[0], idx, clause[1]);
+        self.watch(clause[1], idx, clause[0]);
         self.clauses.push(Clause {
             lits: clause.to_vec(),
             learned: true,
@@ -657,8 +787,8 @@ impl Solver {
             // any clause that is not root-satisfied
             debug_assert!(c.lits.len() >= 2, "root propagation incomplete");
             let idx = self.clauses.len() as u32;
-            self.watches[c.lits[0].code()].push(idx);
-            self.watches[c.lits[1].code()].push(idx);
+            self.watch(c.lits[0], idx, c.lits[1]);
+            self.watch(c.lits[1], idx, c.lits[0]);
             self.clauses.push(c);
         }
         self.num_deletable_live = self
@@ -705,6 +835,30 @@ impl Solver {
     /// Each call emits one `sat.solve` trace span plus per-call deltas of
     /// the decision/propagation/conflict/restart/learning statistics.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_traced(assumptions, None)
+            .expect("uncancellable solve cannot be cancelled")
+    }
+
+    /// Like [`Solver::solve_with_assumptions`] but cooperatively
+    /// cancellable: the flag is polled inside propagation, and a raised
+    /// flag makes the call return `None` (promptly, not instantly). The
+    /// solver stays fully usable afterwards — everything learned before
+    /// the cancellation is kept. This is the portfolio-racing primitive:
+    /// the first member to answer raises the flag and the rest stand
+    /// down.
+    pub fn solve_with_assumptions_cancellable(
+        &mut self,
+        assumptions: &[Lit],
+        cancel: &AtomicBool,
+    ) -> Option<SatResult> {
+        self.solve_traced(assumptions, Some(cancel))
+    }
+
+    fn solve_traced(
+        &mut self,
+        assumptions: &[Lit],
+        cancel: Option<&AtomicBool>,
+    ) -> Option<SatResult> {
         let mut sp = seceda_trace::span("sat.solve");
         sp.attr("vars", self.num_vars());
         sp.attr("clauses", self.clauses.len());
@@ -720,7 +874,7 @@ impl Solver {
             self.num_db_reductions,
             self.num_minimized_lits,
         );
-        let result = self.solve_inner(assumptions);
+        let result = self.solve_inner(assumptions, cancel);
         seceda_trace::counter("sat.decisions", self.num_decisions - d0);
         seceda_trace::counter("sat.propagations", self.num_propagations - p0);
         seceda_trace::counter("sat.conflicts", self.num_conflicts - c0);
@@ -728,13 +882,20 @@ impl Solver {
         seceda_trace::counter("sat.learned", self.num_learned - l0);
         seceda_trace::counter("sat.db_reductions", self.num_db_reductions - db0);
         seceda_trace::counter("sat.minimized_lits", self.num_minimized_lits - m0);
-        sp.attr("result", if result.is_sat() { "sat" } else { "unsat" });
+        match &result {
+            None => sp.attr("result", "cancelled"),
+            Some(r) => sp.attr("result", if r.is_sat() { "sat" } else { "unsat" }),
+        }
         result
     }
 
-    fn solve_inner(&mut self, assumptions: &[Lit]) -> SatResult {
+    fn solve_inner(
+        &mut self,
+        assumptions: &[Lit],
+        cancel: Option<&AtomicBool>,
+    ) -> Option<SatResult> {
         if self.unsat {
-            return SatResult::Unsat;
+            return Some(SatResult::Unsat);
         }
         for a in assumptions {
             assert!(a.var().index() < self.num_vars(), "assumption out of range");
@@ -743,19 +904,26 @@ impl Solver {
             self.max_learnts = (self.clauses.len() as f64 / 3.0).max(2000.0);
         }
         self.backtrack(0);
-        if self.propagate().is_some() {
-            self.unsat = true;
-            return SatResult::Unsat;
+        match self.propagate(None) {
+            Propagation::Conflict(_) => {
+                self.unsat = true;
+                return Some(SatResult::Unsat);
+            }
+            Propagation::Quiescent | Propagation::Cancelled => {}
         }
         let mut restart_count = 0u32;
-        let mut conflicts_until_restart = 64 * luby(restart_count);
+        let mut conflicts_until_restart = self.config.restart_base * luby(restart_count);
         loop {
-            match self.propagate() {
-                Some(confl) => {
+            match self.propagate(cancel) {
+                Propagation::Cancelled => {
+                    self.backtrack(0);
+                    return None;
+                }
+                Propagation::Conflict(confl) => {
                     self.num_conflicts += 1;
                     if self.trail_lim.is_empty() {
                         self.unsat = true;
-                        return SatResult::Unsat;
+                        return Some(SatResult::Unsat);
                     }
                     let (clause, bt, lbd) = self.analyze(confl);
                     self.backtrack(bt);
@@ -763,13 +931,13 @@ impl Solver {
                     let reason = self.learn(&clause, lbd);
                     debug_assert_eq!(self.value_lit(asserting), UNASSIGNED);
                     self.enqueue(asserting, reason);
-                    self.var_inc /= 0.95;
+                    self.var_inc /= self.config.var_decay;
                     self.cla_inc /= 0.999;
                     conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                     if conflicts_until_restart == 0 {
                         restart_count += 1;
                         self.num_restarts += 1;
-                        conflicts_until_restart = 64 * luby(restart_count);
+                        conflicts_until_restart = self.config.restart_base * luby(restart_count);
                         self.backtrack(0);
                     }
                     // an oversized learned DB forces a restart so the
@@ -778,13 +946,13 @@ impl Solver {
                         self.backtrack(0);
                     }
                 }
-                None => {
+                Propagation::Quiescent => {
                     if self.trail_lim.is_empty()
                         && self.num_deletable_live as f64 >= self.max_learnts
                     {
                         self.reduce_db();
                         if !self.reduce_pinned {
-                            self.max_learnts *= 1.2;
+                            self.max_learnts *= self.config.reduce_growth;
                         }
                     }
                     // place assumptions as pseudo-decisions first
@@ -794,7 +962,7 @@ impl Solver {
                             1 => self.trail_lim.push(self.trail.len()),
                             0 => {
                                 self.backtrack(0);
-                                return SatResult::Unsat;
+                                return Some(SatResult::Unsat);
                             }
                             _ => {
                                 self.trail_lim.push(self.trail.len());
@@ -807,7 +975,7 @@ impl Solver {
                         None => {
                             let model: Vec<bool> = self.assign.iter().map(|&v| v == 1).collect();
                             self.backtrack(0);
-                            return SatResult::Sat(model);
+                            return Some(SatResult::Sat(model));
                         }
                         Some(d) => {
                             self.num_decisions += 1;
@@ -818,6 +986,28 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// Exports glue learned clauses (LBD at or below the keep-forever
+    /// threshold) past the first `skip`, for portfolio clause sharing.
+    /// Glue clauses are never deleted and database reduction preserves
+    /// their relative order, so `skip` is a stable cursor.
+    pub fn export_glue(&self, skip: usize) -> Vec<Vec<Lit>> {
+        self.clauses
+            .iter()
+            .filter(|c| c.learned && c.lbd <= GLUE_LBD)
+            .skip(skip)
+            .map(|c| c.lits.clone())
+            .collect()
+    }
+
+    /// Number of live glue learned clauses (the [`Solver::export_glue`]
+    /// cursor space).
+    pub fn num_glue(&self) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| c.learned && c.lbd <= GLUE_LBD)
+            .count()
     }
 }
 
@@ -836,6 +1026,17 @@ enum VisitOutcome {
     Keep,
     Moved,
     Conflict,
+}
+
+/// Outcome of a [`Solver::propagate`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Propagation {
+    /// Queue drained without conflict.
+    Quiescent,
+    /// Conflict in the given clause.
+    Conflict(u32),
+    /// The cancellation flag was raised mid-propagation.
+    Cancelled,
 }
 
 /// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...).

@@ -6,9 +6,9 @@
 //! * [`CycleSim`] — zero-delay cycle-accurate simulation of sequential
 //!   netlists with full per-net visibility (the workhorse for leakage
 //!   analysis and fault campaigns);
-//! * [`PackedSim`] — bit-parallel simulation of 64 patterns at a time
-//!   (signal probability estimation, MERO-style test generation, fault
-//!   grading);
+//! * [`PackedSim`] — bit-parallel simulation of one machine word of
+//!   patterns at a time (signal probability estimation, MERO-style test
+//!   generation, fault grading);
 //! * [`EventSim`] — event-driven timing simulation with per-gate delays,
 //!   reporting glitches (transient toggles within one cycle), which the
 //!   paper highlights as a leakage source the power models must capture;
@@ -18,9 +18,11 @@
 //! * [`fault`] — stuck-at and transient fault injection plus batch fault
 //!   grading for ATPG and FIA campaigns;
 //! * [`PackedFaultSim`] — the bit-parallel fault-grading engine behind
-//!   [`FaultSim::coverage`](fault::FaultSim::coverage): 64 patterns per
-//!   word, fault dropping, fan-out-cone-restricted faulty re-evaluation,
-//!   and multi-threaded fault-list fan-out.
+//!   [`FaultSim::coverage`](fault::FaultSim::coverage): 256 patterns
+//!   per pass over [`Lane256`] words (generic in [`SimWord`], `u64`
+//!   kept as the differential baseline), fault dropping,
+//!   fan-out-cone-restricted faulty re-evaluation, and multi-threaded
+//!   fault-list fan-out.
 //!
 //! See [`CycleSim`] for a runnable end-to-end example.
 
@@ -32,6 +34,7 @@ mod event;
 mod packed;
 mod packed_fault;
 mod prob;
+mod simword;
 
 pub use cycle::{CycleSim, SimTrace};
 pub use event::{EventSim, GlitchReport, ToggleEvent};
@@ -40,3 +43,4 @@ pub use packed::{pack_patterns, PackedSim};
 pub use packed_fault::PackedFaultSim;
 pub use power::{NoiseModel, PowerModel, TraceRecorder};
 pub use prob::signal_probabilities;
+pub use simword::{Lane256, SimWord};

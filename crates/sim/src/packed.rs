@@ -4,44 +4,105 @@
 //! *k*. This is the standard trick that makes statistical analyses (signal
 //! probabilities, MERO N-detect test generation, fault grading) tractable.
 
+use crate::simword::SimWord;
 use seceda_netlist::{CellKind, Gate, GateId, Netlist, NetlistError};
 
-/// Evaluates one combinational gate on packed words: bit *k* of the
-/// result is the gate's output under pattern *k*.
+/// Evaluates one combinational gate on packed words of any lane width:
+/// bit *k* of the result is the gate's output under lane *k*.
 ///
 /// # Panics
 ///
 /// Debug-panics on sequential gates; callers iterate combinational
 /// topological orders only.
-pub(crate) fn eval_gate(g: &Gate, values: &[u64]) -> u64 {
+pub(crate) fn eval_gate_w<W: SimWord>(g: &Gate, values: &[W]) -> W {
     match g.kind {
-        CellKind::Const0 => 0,
-        CellKind::Const1 => u64::MAX,
+        CellKind::Const0 => W::ZERO,
+        CellKind::Const1 => W::ONES,
         CellKind::Buf => values[g.inputs[0].index()],
         CellKind::Not => !values[g.inputs[0].index()],
         CellKind::And => g
             .inputs
             .iter()
-            .fold(u64::MAX, |acc, &i| acc & values[i.index()]),
+            .fold(W::ONES, |acc, &i| acc & values[i.index()]),
         CellKind::Nand => !g
             .inputs
             .iter()
-            .fold(u64::MAX, |acc, &i| acc & values[i.index()]),
-        CellKind::Or => g.inputs.iter().fold(0, |acc, &i| acc | values[i.index()]),
-        CellKind::Nor => !g.inputs.iter().fold(0, |acc, &i| acc | values[i.index()]),
-        CellKind::Xor => g.inputs.iter().fold(0, |acc, &i| acc ^ values[i.index()]),
-        CellKind::Xnor => !g.inputs.iter().fold(0, |acc, &i| acc ^ values[i.index()]),
+            .fold(W::ONES, |acc, &i| acc & values[i.index()]),
+        CellKind::Or => g
+            .inputs
+            .iter()
+            .fold(W::ZERO, |acc, &i| acc | values[i.index()]),
+        CellKind::Nor => !g
+            .inputs
+            .iter()
+            .fold(W::ZERO, |acc, &i| acc | values[i.index()]),
+        CellKind::Xor => g
+            .inputs
+            .iter()
+            .fold(W::ZERO, |acc, &i| acc ^ values[i.index()]),
+        CellKind::Xnor => !g
+            .inputs
+            .iter()
+            .fold(W::ZERO, |acc, &i| acc ^ values[i.index()]),
         CellKind::Mux => {
             let s = values[g.inputs[0].index()];
             let a = values[g.inputs[1].index()];
             let b = values[g.inputs[2].index()];
-            (!s & a) | (s & b)
+            W::mux(s, a, b)
         }
         CellKind::Dff => {
             debug_assert!(false, "eval_gate called on a sequential gate");
-            0
+            W::ZERO
         }
     }
+}
+
+/// Evaluates one combinational gate on 64-lane packed words.
+pub(crate) fn eval_gate(g: &Gate, values: &[u64]) -> u64 {
+    eval_gate_w::<u64>(g, values)
+}
+
+/// Evaluates every net of `nl` at any lane width: one pass over a
+/// precomputed combinational topological `order`, DFF outputs held at
+/// all-zero (the pseudo-input convention used everywhere else).
+pub(crate) fn eval_nets_w<W: SimWord>(nl: &Netlist, order: &[GateId], inputs: &[W]) -> Vec<W> {
+    assert_eq!(inputs.len(), nl.inputs().len(), "input width mismatch");
+    let mut values = vec![W::ZERO; nl.num_nets()];
+    for (k, &pi) in nl.inputs().iter().enumerate() {
+        values[pi.index()] = inputs[k];
+    }
+    for &gid in order {
+        let g = nl.gate(gid);
+        values[g.output.index()] = eval_gate_w(g, &values);
+    }
+    values
+}
+
+/// Packs scalar pattern bits into input words of any lane width:
+/// `patterns[p][k]` is the value of input *k* under pattern *p* (at most
+/// `W::BITS` patterns).
+///
+/// # Panics
+///
+/// Panics if more than `W::BITS` patterns are supplied.
+pub(crate) fn pack_patterns_w<W: SimWord>(patterns: &[Vec<bool>], num_inputs: usize) -> Vec<W> {
+    assert!(
+        patterns.len() <= W::BITS,
+        "at most {} patterns per packed word",
+        W::BITS
+    );
+    let mut words = vec![W::ZERO; num_inputs];
+    for (p, pat) in patterns.iter().enumerate() {
+        assert_eq!(pat.len(), num_inputs, "pattern width mismatch");
+        let (lane, bit) = (p / 64, p % 64);
+        for (k, &b) in pat.iter().enumerate() {
+            if b {
+                let w = words[k];
+                words[k] = w.with_lane(lane, w.lane(lane) | (1u64 << bit));
+            }
+        }
+    }
+    words
 }
 
 /// Bit-parallel combinational simulator.

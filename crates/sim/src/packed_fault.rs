@@ -2,22 +2,30 @@
 //! restriction — the industrial recipe that makes stuck-at grading,
 //! ATPG bootstrap, and MERO-style N-detect tractable on real circuits.
 //!
-//! Three compounding optimizations over the scalar reference
+//! Four compounding optimizations over the scalar reference
 //! ([`crate::FaultSim::coverage_scalar`]):
 //!
-//! * **64 patterns per pass** — the good circuit is simulated once per
-//!   64-pattern word ([`PackedSim`]), and each faulty circuit once per
-//!   word; detection of all 64 patterns is a single masked XOR of
-//!   output words.
+//! * **256 patterns per pass** — gates evaluate over [`Lane256`] words
+//!   (four `u64` lanes, autovectorized), so the good circuit and each
+//!   faulty cone are walked once per 256-pattern chunk; detection of
+//!   all 256 patterns is a single masked XOR of output words. The
+//!   64-lane `u64` path remains as the differential-testing reference
+//!   ([`PackedFaultSim::coverage_u64`]).
+//! * **Fault batching** — when a chunk holds 64 or fewer patterns
+//!   (ATPG's one-pattern incremental grading, tails of a pattern set),
+//!   each 64-bit sub-lane of a wide word carries a *different fault*
+//!   over the same patterns, so one cone walk grades up to four faults.
 //! * **Fault dropping** — a fault leaves the active list the moment any
 //!   pattern detects it; later patterns never touch it again.
 //! * **Cone restriction** — the faulty circuit re-evaluates only the
 //!   fan-out cone of the faulted net, event-driven in topological
 //!   order, and stops early when the fault effect converges with the
-//!   good value or reaches a primary output.
+//!   good value or every fault in the pass has reached a primary
+//!   output.
 //!
 //! The active fault list fans out across cores with
-//! [`seceda_testkit::par`]; every fault is graded independently, so the
+//! [`seceda_testkit::par`]; every fault is graded independently (fault
+//! groups are formed deterministically from the active list), so the
 //! result is bit-identical for any worker count.
 //!
 //! Detection results are **exactly** those of the scalar reference:
@@ -27,22 +35,27 @@
 //! effect.
 
 use crate::fault::{Fault, FaultKind};
-use crate::packed::{eval_gate, pack_patterns, PackedSim};
-use seceda_netlist::{GateId, Netlist, NetlistError};
+use crate::packed::{
+    eval_gate, eval_gate_w, eval_nets_w, pack_patterns, pack_patterns_w, PackedSim,
+};
+use crate::simword::{Lane256, SimWord};
+use seceda_netlist::{Netlist, NetlistError};
 use seceda_testkit::par;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// The packed, dropping, cone-restricted fault-grading engine.
 #[derive(Debug, Clone)]
 pub struct PackedFaultSim<'a> {
     sim: PackedSim<'a>,
     nl: &'a Netlist,
-    /// Per gate: position in the combinational topological order;
-    /// `u32::MAX` for sequential gates (cones stop at state elements).
-    level: Vec<u32>,
-    /// Per net: combinational gates reading it.
-    fanout: Vec<Vec<GateId>>,
+    /// Combinational gates cloned into topological order, so a cone
+    /// walk streams through memory in evaluation order.
+    comb: Vec<seceda_netlist::Gate>,
+    /// CSR fan-out: `fanout_pos[fanout_start[n]..fanout_start[n+1]]`
+    /// are the *topo positions* of the combinational gates reading net
+    /// *n* (deduplicated per gate), so a cone push is a single
+    /// branch-free bitset write.
+    fanout_start: Vec<u32>,
+    fanout_pos: Vec<u32>,
     /// Per net: is it marked as a primary output?
     is_output: Vec<bool>,
     /// Per net: does a fault injected here take effect? True for primary
@@ -55,41 +68,44 @@ pub struct PackedFaultSim<'a> {
 /// Per-worker scratch: reused across every fault a worker grades, so
 /// the per-fault cost is proportional to the fault's cone, not to the
 /// netlist size.
-struct Scratch {
+struct Scratch<W> {
     /// Faulty packed values; equal to the good values outside the set
-    /// of touched nets, restored after every fault.
-    vals: Vec<u64>,
+    /// of touched nets, restored after every pass.
+    vals: Vec<W>,
     /// Net indices whose `vals` entry differs from the good values.
     touched: Vec<u32>,
-    /// Per gate: epoch stamp deduplicating heap pushes.
-    queued: Vec<u32>,
-    epoch: u32,
-    /// Min-heap of (topo level, gate index): pending cone gates.
-    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Pending cone gates as a bitset over topo positions. Fan-out
+    /// gates sit strictly later in topo order than their driver, so the
+    /// cone walk is a monotone wavefront: push = set bit, pop = scan
+    /// forward for the lowest set bit — no heap, no dedup stamps.
+    /// All-zero between passes.
+    pending: Vec<u64>,
+    /// Forced sites of the current pass: (net, fault kind, lane mask).
+    /// Needed to re-force a site that sits inside another site's cone.
+    sites: Vec<(u32, FaultKind, W)>,
 }
 
-impl Scratch {
-    fn new(good: &[u64], num_gates: usize) -> Self {
+impl<W: SimWord> Scratch<W> {
+    fn new(good: &[W], num_comb_gates: usize) -> Self {
         Scratch {
             vals: good.to_vec(),
             touched: Vec::new(),
-            queued: vec![0; num_gates],
-            epoch: 0,
-            heap: BinaryHeap::new(),
+            pending: vec![0; num_comb_gates.div_ceil(64)],
+            sites: Vec::new(),
         }
     }
 }
 
-/// The packed word a fault forces onto its net, given the good word.
-fn forced_word(kind: FaultKind, good: u64) -> u64 {
+/// The word a fault forces onto its net, given the good word.
+fn apply_fault<W: SimWord>(kind: FaultKind, good: W) -> W {
     match kind {
-        FaultKind::StuckAt0 => 0,
-        FaultKind::StuckAt1 => u64::MAX,
+        FaultKind::StuckAt0 => W::ZERO,
+        FaultKind::StuckAt1 => W::ONES,
         FaultKind::BitFlip => !good,
     }
 }
 
-/// Detection mask for a batch of `n` patterns packed into one word.
+/// Detection mask for a batch of `n` patterns packed into one `u64`.
 fn batch_mask(n: usize) -> u64 {
     debug_assert!((1..=64).contains(&n));
     if n == 64 {
@@ -112,19 +128,44 @@ impl<'a> PackedFaultSim<'a> {
         for (pos, &gid) in sim.order().iter().enumerate() {
             level[gid.index()] = pos as u32;
         }
-        let mut fanout = vec![Vec::new(); nl.num_nets()];
+        // CSR fan-out in two passes (count, fill); a gate reading the
+        // same net twice is one cone entry
+        let mut last_gate = vec![u32::MAX; nl.num_nets()];
+        let mut fanout_start = vec![0u32; nl.num_nets() + 1];
         for (gi, g) in nl.gates().iter().enumerate() {
             if g.kind.is_sequential() {
                 continue;
             }
             for &inp in &g.inputs {
-                let loads = &mut fanout[inp.index()];
-                // a gate reading the same net twice is one cone entry
-                if loads.last() != Some(&GateId::from_index(gi)) {
-                    loads.push(GateId::from_index(gi));
+                if last_gate[inp.index()] != gi as u32 {
+                    last_gate[inp.index()] = gi as u32;
+                    fanout_start[inp.index() + 1] += 1;
                 }
             }
         }
+        for n in 0..nl.num_nets() {
+            fanout_start[n + 1] += fanout_start[n];
+        }
+        let mut cursor = fanout_start.clone();
+        let mut fanout_pos = vec![0u32; *fanout_start.last().expect("non-empty starts") as usize];
+        last_gate.fill(u32::MAX);
+        for (gi, g) in nl.gates().iter().enumerate() {
+            if g.kind.is_sequential() {
+                continue;
+            }
+            for &inp in &g.inputs {
+                if last_gate[inp.index()] != gi as u32 {
+                    last_gate[inp.index()] = gi as u32;
+                    fanout_pos[cursor[inp.index()] as usize] = level[gi];
+                    cursor[inp.index()] += 1;
+                }
+            }
+        }
+        let comb: Vec<seceda_netlist::Gate> = sim
+            .order()
+            .iter()
+            .map(|&gid| nl.gate(gid).clone())
+            .collect();
         let mut is_output = vec![false; nl.num_nets()];
         for &(net, _) in nl.outputs() {
             is_output[net.index()] = true;
@@ -142,8 +183,9 @@ impl<'a> PackedFaultSim<'a> {
         Ok(PackedFaultSim {
             sim,
             nl,
-            level,
-            fanout,
+            comb,
+            fanout_start,
+            fanout_pos,
             is_output,
             fault_applies,
             num_comb_gates,
@@ -155,74 +197,225 @@ impl<'a> PackedFaultSim<'a> {
         self.nl
     }
 
-    fn push_cone_gate(&self, sc: &mut Scratch, gid: GateId) {
-        let gi = gid.index();
-        let lvl = self.level[gi];
-        if lvl == u32::MAX || sc.queued[gi] == sc.epoch {
-            return;
+    /// Marks every combinational reader of net `ni` pending, returning
+    /// the lowest pending-bitset word index it touched (or `usize::MAX`
+    /// for no readers).
+    #[inline]
+    fn push_fanout<W: SimWord>(&self, sc: &mut Scratch<W>, ni: usize) -> usize {
+        let lo = self.fanout_start[ni] as usize;
+        let hi = self.fanout_start[ni + 1] as usize;
+        let mut min_word = usize::MAX;
+        for &lvl in &self.fanout_pos[lo..hi] {
+            let lvl = lvl as usize;
+            sc.pending[lvl >> 6] |= 1u64 << (lvl & 63);
+            min_word = min_word.min(lvl >> 6);
         }
-        sc.queued[gi] = sc.epoch;
-        sc.heap.push(Reverse((lvl, gi as u32)));
+        min_word
     }
 
-    /// Simulates one fault against one packed batch; returns whether
-    /// any of the `mask`ed patterns detects it, plus the number of
-    /// combinational gates the cone restriction skipped.
+    /// Simulates one pass of up to `W::LANES` independent faults over
+    /// one packed batch. `sites[j]` pairs a fault with the lane mask
+    /// whose bits carry its real patterns: in wide mode that is the
+    /// full batch mask (one fault, patterns in every lane), in
+    /// fault-group mode lane *j* of the word carries fault *j*'s
+    /// patterns and each mask selects one lane.
+    ///
+    /// Sets `detected[j]` iff any masked pattern detects fault *j*, and
+    /// returns the number of (fault × combinational gate) evaluations
+    /// the cone restriction and batching skipped.
     ///
     /// `sc.vals` must equal `good` on entry and is restored on exit.
-    fn grade_one(&self, sc: &mut Scratch, good: &[u64], fault: Fault, mask: u64) -> (bool, u64) {
-        let ni = fault.net.index();
-        if !self.fault_applies[ni] {
-            // the scalar pass never assigns (and so never faults) this net
-            return (false, self.num_comb_gates);
-        }
-        // force only the bits carrying real patterns, so phantom
-        // differences in unused bit lanes cannot propagate
-        let forced = (good[ni] & !mask) | (forced_word(fault.kind, good[ni]) & mask);
-        if forced == good[ni] {
-            // no pattern excites the fault: the faulty circuit is the
-            // good circuit, nothing to re-evaluate
-            return (false, self.num_comb_gates);
-        }
-        sc.epoch = sc.epoch.wrapping_add(1);
-        if sc.epoch == 0 {
-            // stamp wrap: invalidate all stale stamps once per 2^32 faults
-            sc.queued.fill(0);
-            sc.epoch = 1;
-        }
-        let mut detected = self.is_output[ni];
-        let mut evaluated = 0u64;
-        sc.vals[ni] = forced;
-        sc.touched.push(ni as u32);
-        if !detected {
-            for &load in &self.fanout[ni] {
-                self.push_cone_gate(sc, load);
+    fn grade_group<W: SimWord>(
+        &self,
+        sc: &mut Scratch<W>,
+        good: &[W],
+        sites: &[(Fault, W)],
+        detected: &mut [bool],
+    ) -> u64 {
+        debug_assert_eq!(sites.len(), detected.len());
+        debug_assert!(sites.len() <= 32, "excitation bitmask is a u32");
+        let budget = sites.len() as u64 * self.num_comb_gates;
+        sc.sites.clear();
+        let mut excited = 0u32;
+        let mut remaining = 0usize;
+        for (j, &(fault, mask)) in sites.iter().enumerate() {
+            let ni = fault.net.index();
+            detected[j] = false;
+            if !self.fault_applies[ni] {
+                // the scalar pass never assigns (and so never faults) this net
+                continue;
             }
-            while let Some(Reverse((_, gi))) = sc.heap.pop() {
+            // force only the bits carrying this fault's real patterns, so
+            // phantom differences in unused bit lanes cannot propagate
+            let forced = apply_fault(fault.kind, good[ni]);
+            if !((forced ^ good[ni]) & mask).any() {
+                // no masked pattern excites the fault: its lanes stay good
+                continue;
+            }
+            excited |= 1 << j;
+            if sc.vals[ni] == good[ni] {
+                sc.touched.push(ni as u32);
+            }
+            // masks of a group are disjoint lanes, so same-net sites compose
+            sc.vals[ni] = (sc.vals[ni] & !mask) | (forced & mask);
+            sc.sites.push((ni as u32, fault.kind, mask));
+            if self.is_output[ni] {
+                detected[j] = true;
+            } else {
+                remaining += 1;
+            }
+        }
+        if sc.sites.is_empty() {
+            return budget;
+        }
+        let mut evaluated = 0u64;
+        if remaining > 0 {
+            let nwords = sc.pending.len();
+            let mut w = usize::MAX;
+            for s in 0..sc.sites.len() {
+                let ni = sc.sites[s].0 as usize;
+                w = w.min(self.push_fanout(sc, ni));
+            }
+            'cone: while w < nwords {
+                let bits = sc.pending[w];
+                if bits == 0 {
+                    w += 1;
+                    continue;
+                }
+                sc.pending[w] = bits & (bits - 1);
+                let pos = (w << 6) | bits.trailing_zeros() as usize;
                 evaluated += 1;
-                let g = self.nl.gate(GateId::from_index(gi as usize));
+                let g = &self.comb[pos];
                 let oi = g.output.index();
-                let new = eval_gate(g, &sc.vals);
+                let mut new = eval_gate_w(g, &sc.vals);
+                // a site sitting inside another fault's cone must stay
+                // forced in its own lanes; sound because there the
+                // recomputed lane value is exactly the good value
+                for &(sn, kind, mask) in &sc.sites {
+                    if sn as usize == oi {
+                        new = (new & !mask) | (apply_fault(kind, new) & mask);
+                    }
+                }
                 if new == sc.vals[oi] {
-                    continue; // fault effect converged at this gate
+                    continue; // fault effects converged at this gate
+                }
+                if sc.vals[oi] == good[oi] {
+                    sc.touched.push(oi as u32);
                 }
                 sc.vals[oi] = new;
-                sc.touched.push(oi as u32);
                 if self.is_output[oi] {
-                    detected = true; // drop: no need to finish the cone
-                    break;
+                    let diff = new ^ good[oi];
+                    for (j, &(_, mask)) in sites.iter().enumerate() {
+                        if excited & (1 << j) != 0 && !detected[j] && (diff & mask).any() {
+                            detected[j] = true;
+                            remaining -= 1;
+                            if remaining == 0 {
+                                // drop: every fault detected; the pushes
+                                // ahead of the cursor are stale now
+                                sc.pending[w..].fill(0);
+                                break 'cone;
+                            }
+                        }
+                    }
                 }
-                for &load in &self.fanout[oi] {
-                    self.push_cone_gate(sc, load);
-                }
+                self.push_fanout(sc, oi);
             }
-            sc.heap.clear();
         }
         for &t in &sc.touched {
             sc.vals[t as usize] = good[t as usize];
         }
         sc.touched.clear();
-        (detected, self.num_comb_gates - evaluated)
+        budget - evaluated
+    }
+
+    /// Generic grading core: chunks `patterns` by `W::BITS`. Chunks
+    /// wider than 64 patterns run in *wide mode* (one fault per pass,
+    /// patterns filling every lane); chunks of at most 64 patterns run
+    /// in *fault-group mode* (up to `W::LANES` active faults share one
+    /// pass, one per 64-bit sub-lane).
+    fn grade_chunks<W: SimWord>(
+        &self,
+        patterns: &[Vec<bool>],
+        faults: &[Fault],
+        detected: &mut [bool],
+    ) {
+        assert_eq!(faults.len(), detected.len(), "detected/fault mismatch");
+        let num_inputs = self.nl.inputs().len();
+        let mut dropped = 0u64;
+        let mut cone_skipped = 0u64;
+        let mut graded = 0u64;
+        seceda_trace::gauge("sim.lane_width", W::BITS as f64);
+        for batch in patterns.chunks(W::BITS) {
+            // one histogram sample per packed batch; batch cost shrinks
+            // as fault dropping thins the active set
+            let _batch_t = seceda_trace::hist_timer("sim.fault_batch_ns");
+            graded += batch.len() as u64;
+            seceda_trace::progress("sim.patterns_graded", graded);
+            let active: Vec<u32> = (0..faults.len() as u32)
+                .filter(|&k| !detected[k as usize])
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            if batch.len() > 64 {
+                // wide mode: patterns fill every lane, one fault per pass
+                let words = pack_patterns_w::<W>(batch, num_inputs);
+                let good = eval_nets_w(self.nl, self.sim.order(), &words);
+                let mask = W::low_mask(batch.len());
+                seceda_trace::gauge("sim.par_workers", par::workers_for(active.len()) as f64);
+                let results = par::par_map_init(
+                    &active,
+                    || Scratch::new(&good, self.num_comb_gates as usize),
+                    |sc, _, &k| {
+                        let mut det = [false];
+                        let skipped =
+                            self.grade_group(sc, &good, &[(faults[k as usize], mask)], &mut det);
+                        (det[0], skipped)
+                    },
+                );
+                for (&k, &(det, skipped)) in active.iter().zip(&results) {
+                    cone_skipped += skipped;
+                    if det {
+                        detected[k as usize] = true;
+                        dropped += 1;
+                    }
+                }
+            } else {
+                // fault-group mode: each 64-bit sub-lane carries a
+                // different active fault over the same patterns
+                let words = pack_patterns(batch, num_inputs);
+                let good64 = self.sim.eval(&words);
+                let good: Vec<W> = good64.iter().map(|&g| W::broadcast(g)).collect();
+                let m64 = batch_mask(batch.len());
+                let groups: Vec<&[u32]> = active.chunks(W::LANES).collect();
+                seceda_trace::gauge("sim.par_workers", par::workers_for(groups.len()) as f64);
+                let results = par::par_map_init(
+                    &groups,
+                    || Scratch::new(&good, self.num_comb_gates as usize),
+                    |sc, _, grp| {
+                        let sites: Vec<(Fault, W)> = grp
+                            .iter()
+                            .enumerate()
+                            .map(|(j, &k)| (faults[k as usize], W::ZERO.with_lane(j, m64)))
+                            .collect();
+                        let mut det = vec![false; grp.len()];
+                        let skipped = self.grade_group(sc, &good, &sites, &mut det);
+                        (det, skipped)
+                    },
+                );
+                for (grp, (det, skipped)) in groups.iter().zip(&results) {
+                    cone_skipped += skipped;
+                    for (&k, &d) in grp.iter().zip(det) {
+                        if d {
+                            detected[k as usize] = true;
+                            dropped += 1;
+                        }
+                    }
+                }
+            }
+        }
+        seceda_trace::counter("sim.faults_dropped", dropped);
+        seceda_trace::counter("sim.cone_gates_skipped", cone_skipped);
     }
 
     /// Grades `patterns` against `faults`, updating `detected` in
@@ -239,42 +432,14 @@ impl<'a> PackedFaultSim<'a> {
     /// Panics if `detected` and `faults` differ in length or on pattern
     /// width mismatch.
     pub fn grade(&self, patterns: &[Vec<bool>], faults: &[Fault], detected: &mut [bool]) {
-        assert_eq!(faults.len(), detected.len(), "detected/fault mismatch");
-        let num_inputs = self.nl.inputs().len();
-        let mut dropped = 0u64;
-        let mut cone_skipped = 0u64;
-        let mut graded = 0u64;
-        for batch in patterns.chunks(64) {
-            // one histogram sample per 64-pattern batch; batch cost
-            // shrinks as fault dropping thins the active set
-            let _batch_t = seceda_trace::hist_timer("sim.fault_batch_ns");
-            graded += batch.len() as u64;
-            seceda_trace::progress("sim.patterns_graded", graded);
-            let active: Vec<u32> = (0..faults.len() as u32)
-                .filter(|&k| !detected[k as usize])
-                .collect();
-            if active.is_empty() {
-                break;
-            }
-            let words = pack_patterns(batch, num_inputs);
-            let good = self.sim.eval(&words);
-            let mask = batch_mask(batch.len());
-            seceda_trace::gauge("sim.par_workers", par::workers_for(active.len()) as f64);
-            let results = par::par_map_init(
-                &active,
-                || Scratch::new(&good, self.nl.num_gates()),
-                |sc, _, &k| self.grade_one(sc, &good, faults[k as usize], mask),
-            );
-            for (&k, &(det, skipped)) in active.iter().zip(&results) {
-                cone_skipped += skipped;
-                if det {
-                    detected[k as usize] = true;
-                    dropped += 1;
-                }
-            }
-        }
-        seceda_trace::counter("sim.faults_dropped", dropped);
-        seceda_trace::counter("sim.cone_gates_skipped", cone_skipped);
+        self.grade_chunks::<Lane256>(patterns, faults, detected);
+    }
+
+    /// 64-lane reference grading path: identical semantics to
+    /// [`PackedFaultSim::grade`] over plain `u64` words, kept for
+    /// differential testing of the 256-bit engine.
+    pub fn grade_u64(&self, patterns: &[Vec<bool>], faults: &[Fault], detected: &mut [bool]) {
+        self.grade_chunks::<u64>(patterns, faults, detected);
     }
 
     /// Grades a pattern set against a fault list; returns, per fault,
@@ -286,12 +451,27 @@ impl<'a> PackedFaultSim<'a> {
     ///
     /// Panics on pattern width mismatch.
     pub fn coverage(&self, patterns: &[Vec<bool>], faults: &[Fault]) -> (Vec<bool>, f64) {
+        self.coverage_with::<Lane256>(patterns, faults)
+    }
+
+    /// 64-lane reference of [`PackedFaultSim::coverage`], kept for
+    /// differential testing of the 256-bit engine.
+    pub fn coverage_u64(&self, patterns: &[Vec<bool>], faults: &[Fault]) -> (Vec<bool>, f64) {
+        self.coverage_with::<u64>(patterns, faults)
+    }
+
+    fn coverage_with<W: SimWord>(
+        &self,
+        patterns: &[Vec<bool>],
+        faults: &[Fault],
+    ) -> (Vec<bool>, f64) {
         let mut sp = seceda_trace::span("sim.fault_coverage");
         sp.attr("patterns", patterns.len());
         sp.attr("faults", faults.len());
         sp.attr("engine", "packed");
+        sp.attr("lane_bits", W::BITS);
         let mut detected = vec![false; faults.len()];
-        self.grade(patterns, faults, &mut detected);
+        self.grade_chunks::<W>(patterns, faults, &mut detected);
         let num_detected = detected.iter().filter(|&&d| d).count();
         let frac = if faults.is_empty() {
             1.0
@@ -308,8 +488,10 @@ impl<'a> PackedFaultSim<'a> {
     /// already-computed good packed values for that pattern (see
     /// [`PackedFaultSim::good_values`]).
     pub fn detects_given_good(&self, good: &[u64], fault: Fault) -> bool {
-        let mut sc = Scratch::new(good, self.nl.num_gates());
-        self.grade_one(&mut sc, good, fault, batch_mask(1)).0
+        let mut sc = Scratch::new(good, self.num_comb_gates as usize);
+        let mut det = [false];
+        self.grade_group(&mut sc, good, &[(fault, batch_mask(1))], &mut det);
+        det[0]
     }
 
     /// Packed per-net good values of a single scalar pattern (bit 0
@@ -347,7 +529,7 @@ impl<'a> PackedFaultSim<'a> {
         let mut values = vec![0u64; self.nl.num_nets()];
         for (k, &pi) in self.nl.inputs().iter().enumerate() {
             values[pi.index()] = match forced[pi.index()] {
-                Some(kind) => forced_word(kind, inputs[k]),
+                Some(kind) => apply_fault(kind, inputs[k]),
                 None => inputs[k],
             };
         }
@@ -355,7 +537,7 @@ impl<'a> PackedFaultSim<'a> {
             let g = self.nl.gate(gid);
             let good = eval_gate(g, &values);
             values[g.output.index()] = match forced[g.output.index()] {
-                Some(kind) => forced_word(kind, good),
+                Some(kind) => apply_fault(kind, good),
                 None => good,
             };
         }
@@ -384,6 +566,10 @@ mod tests {
             .collect();
         assert_eq!(
             packed.coverage(&patterns, &faults),
+            scalar.coverage_scalar(&patterns, &faults)
+        );
+        assert_eq!(
+            packed.coverage_u64(&patterns, &faults),
             scalar.coverage_scalar(&patterns, &faults)
         );
     }
@@ -440,6 +626,52 @@ mod tests {
         assert_eq!(det, vec![false]);
         let (det, _) = packed.coverage(&[vec![true, true]], &[f]);
         assert_eq!(det, vec![true]);
+    }
+
+    #[test]
+    fn fault_groups_attribute_detections_per_lane() {
+        // a chain where faults have overlapping cones: fault A's site
+        // feeds fault B's site, so the group pass must keep B forced in
+        // its own lane while A's effect washes through the union cone
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_gate(CellKind::And, &[a, b]);
+        let g2 = nl.add_gate(CellKind::Or, &[g1, a]);
+        let g3 = nl.add_gate(CellKind::Xor, &[g2, b]);
+        nl.mark_output(g3, "y");
+        let packed = PackedFaultSim::new(&nl).expect("sim");
+        let scalar = FaultSim::new(&nl).expect("sim");
+        let faults = stuck_at_universe(&nl);
+        let patterns: Vec<Vec<bool>> = (0..4u32)
+            .map(|p| (0..2).map(|k| (p >> k) & 1 == 1).collect())
+            .collect();
+        // <=64 patterns forces fault-group mode under Lane256
+        assert_eq!(
+            packed.coverage(&patterns, &faults),
+            scalar.coverage_scalar(&patterns, &faults)
+        );
+    }
+
+    #[test]
+    fn wide_mode_matches_u64_above_64_patterns() {
+        let nl = c17();
+        let packed = PackedFaultSim::new(&nl).expect("sim");
+        let faults = stuck_at_universe(&nl);
+        // 5-input circuit: replicate the 32 exhaustive patterns to cross
+        // the 64-pattern wide-mode threshold (65..=255 exercises the
+        // partial Lane256 mask)
+        let base: Vec<Vec<bool>> = (0..32u32)
+            .map(|p| (0..5).map(|b| (p >> b) & 1 == 1).collect())
+            .collect();
+        for n in [65usize, 120, 255, 256] {
+            let patterns: Vec<Vec<bool>> = (0..n).map(|i| base[i % base.len()].clone()).collect();
+            assert_eq!(
+                packed.coverage(&patterns, &faults),
+                packed.coverage_u64(&patterns, &faults),
+                "pattern count {n}"
+            );
+        }
     }
 
     #[test]

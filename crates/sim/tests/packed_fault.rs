@@ -11,7 +11,7 @@ use seceda_netlist::{
     alu_slice, c17, comparator, majority, parity_tree, random_circuit, ripple_adder, Netlist,
     RandomCircuitConfig,
 };
-use seceda_sim::{fault::stuck_at_universe, Fault, FaultSim};
+use seceda_sim::{fault::stuck_at_universe, Fault, FaultSim, PackedFaultSim};
 use seceda_testkit::par;
 use seceda_testkit::prelude::*;
 use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
@@ -62,6 +62,23 @@ proptest! {
     }
 
     #[test]
+    fn lane256_matches_u64_reference(seed in 0u64..5000, gates in 2usize..50) {
+        let nl = circuit(seed, gates);
+        let engine = PackedFaultSim::new(&nl).expect("sim");
+        let faults = stuck_at_universe(&nl);
+        // pattern counts straddling every chunking mode: fault-group
+        // (<=64), partial wide (65..=255), and full wide (256+)
+        for n in [1usize, 63, 64, 65, 200, 256, 300] {
+            let patterns = random_patterns(&nl, n, seed ^ (n as u64) << 8);
+            prop_assert_eq!(
+                engine.coverage(&patterns, &faults),
+                engine.coverage_u64(&patterns, &faults),
+                "pattern count {}", n
+            );
+        }
+    }
+
+    #[test]
     fn worker_count_does_not_change_results(seed in 0u64..2000, gates in 2usize..40) {
         let nl = circuit(seed, gates);
         let sim = FaultSim::new(&nl).expect("sim");
@@ -85,10 +102,13 @@ fn packed_matches_scalar_on_every_bench_circuit() {
     ];
     for (name, nl) in circuits {
         let sim = FaultSim::new(&nl).expect("sim");
+        let engine = PackedFaultSim::new(&nl).expect("sim");
         let faults = stuck_at_universe(&nl);
         let patterns = random_patterns(&nl, 80, 7);
         let packed = sim.coverage(&patterns, &faults);
         let scalar = sim.coverage_scalar(&patterns, &faults);
         assert_eq!(packed, scalar, "packed != scalar on {name}");
+        let u64_ref = engine.coverage_u64(&patterns, &faults);
+        assert_eq!(packed, u64_ref, "lane256 != u64 reference on {name}");
     }
 }

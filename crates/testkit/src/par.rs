@@ -156,6 +156,44 @@ where
         .collect()
 }
 
+/// Parallel map with exclusive mutable access to each item:
+/// `out[i] = f(i, &mut items[i])`.
+///
+/// One thread per item (capped only by the item count, not the worker
+/// budget), so this is for SMALL item lists that must all make progress
+/// concurrently — racing portfolio solvers, long-lived per-shard state —
+/// rather than for data-parallel throughput (use [`par_map_init`] for
+/// that). When the effective worker count is 1 the items run serially in
+/// index order, which gives racing callers a deterministic serial
+/// schedule: item 0 completes first.
+pub fn par_map_mut<T, R>(items: &mut [T], f: impl Fn(usize, &mut T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    if max_workers() <= 1 || items.len() <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    let f = &f; // share the closure by reference (&F: Send when F: Sync)
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| scope.spawn(move || f(i, item)))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(r) => out.push(Some(r)),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("par worker skipped an item"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +239,25 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::Relaxed), 200);
         assert!(inits.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_in_place() {
+        let mut items: Vec<u64> = (0..6).collect();
+        for workers in [1, 3] {
+            let out = with_workers(workers, || {
+                par_map_mut(&mut items, |i, x| {
+                    *x += 10;
+                    *x + i as u64
+                })
+            });
+            assert_eq!(out.len(), 6, "workers = {workers}");
+            for (i, &r) in out.iter().enumerate() {
+                assert_eq!(r, items[i] + i as u64, "workers = {workers}");
+            }
+        }
+        // both passes mutated: 0..6 then +10 twice
+        assert_eq!(items, vec![20, 21, 22, 23, 24, 25]);
     }
 
     #[test]

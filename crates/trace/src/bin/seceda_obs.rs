@@ -25,7 +25,8 @@ commands:
                                           array (chrome://tracing, Perfetto);
                                           stdout when -o is omitted
   top [-n N] <session.jsonl>              hottest span names by total self
-                                          time (default N=10)
+                                          time (default N=10), plus counter
+                                          totals and gauge snapshots
   diff <a.jsonl> <b.jsonl>                per-span-name total-time comparison
   summary <session.jsonl>                 render the span tree with counter,
                                           gauge, and histogram rollups";
@@ -92,7 +93,8 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
         }
     }
     let input = input.ok_or("top needs a session file")?;
-    let mut rows: Vec<(String, (u64, u64, u64))> = by_name(&load(input)?).into_iter().collect();
+    let events = load(input)?;
+    let mut rows: Vec<(String, (u64, u64, u64))> = by_name(&events).into_iter().collect();
     rows.sort_by_key(|r| std::cmp::Reverse(r.1 .2));
     println!(
         "{:<32} {:>7} {:>12} {:>12}",
@@ -106,6 +108,23 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
             fmt_duration(total),
             fmt_duration(self_ns)
         );
+    }
+    // counters and gauges are few; show them all, sorted by total so the
+    // hot probes (sat.aig_hash_hits, sim.lane_width, ...) lead
+    let summary = Summary::of(&events);
+    if !summary.counters.is_empty() {
+        let mut counters: Vec<_> = summary.counters.iter().collect();
+        counters.sort_by_key(|(_, &total)| std::cmp::Reverse(total));
+        println!("\n{:<32} {:>12}", "counter", "total");
+        for (name, total) in counters {
+            println!("{name:<32} {total:>12}");
+        }
+    }
+    if !summary.gauges.is_empty() {
+        println!("\n{:<32} {:>12}", "gauge", "last");
+        for (name, value) in &summary.gauges {
+            println!("{name:<32} {value:>12}");
+        }
     }
     Ok(())
 }
