@@ -15,8 +15,12 @@
 //! `SECEDA_BENCH_QUICK=1` switches to a seconds-not-minutes smoke
 //! configuration (narrow keys, one sample) used by `scripts/verify.sh`.
 
-use seceda_lock::{sat_attack, sat_attack_rebuild, xor_lock, LockedNetlist, SatAttackResult};
+use seceda_lock::{
+    sat_attack, sat_attack_budgeted, sat_attack_rebuild, xor_lock, LockedNetlist, SatAttackOutcome,
+    SatAttackResult,
+};
 use seceda_netlist::{c17, random_circuit, Netlist, RandomCircuitConfig};
+use seceda_sat::Budget;
 use seceda_testkit::bench::target_dir;
 use seceda_testkit::json::Json;
 use std::time::Instant;
@@ -32,6 +36,11 @@ struct CaseResult {
     speedup: f64,
     iterations_match: bool,
     keys_correct: bool,
+    /// Whether the one-conflict budgeted probe suspended (the expected
+    /// outcome on any host that needs real search).
+    indeterminate: bool,
+    /// Conflicts the suspended probe had spent at checkpoint time.
+    budget_conflicts: u64,
 }
 
 /// Median wall-clock time of `samples` runs of `f`; returns the median
@@ -69,6 +78,33 @@ fn run_case(name: &str, original: &Netlist, key_width: usize, samples: usize) ->
             .expect("incremental attack runs")
             .expect("incremental attack finds a key")
     });
+    // budgeted probe: a one-conflict budget suspends almost
+    // immediately; resuming the checkpoint unbudgeted must land on the
+    // exact key and DIP count of the straight-through attack, so the
+    // checkpoint/resume machinery is re-verified on every bench host
+    let (indeterminate, budget_conflicts) = {
+        let starved = Budget::unlimited().with_max_conflicts(1);
+        match sat_attack_budgeted(&locked, oracle, &starved, None).expect("budgeted attack runs") {
+            SatAttackOutcome::Suspended { checkpoint, .. } => {
+                let resumed =
+                    sat_attack_budgeted(&locked, oracle, &Budget::unlimited(), Some(&checkpoint))
+                        .expect("resume runs");
+                match resumed {
+                    SatAttackOutcome::Complete(r) => {
+                        assert_eq!(r.key, incremental.key, "{name}: resumed key diverged");
+                        assert_eq!(
+                            r.iterations, incremental.iterations,
+                            "{name}: resumed DIP count diverged"
+                        );
+                    }
+                    other => panic!("{name}: unbudgeted resume must complete: {other:?}"),
+                }
+                (true, checkpoint.conflicts)
+            }
+            SatAttackOutcome::Complete(_) => (false, 0),
+            SatAttackOutcome::NoKey => panic!("{name}: budgeted probe lost the key"),
+        }
+    };
     CaseResult {
         name: name.to_string(),
         key_width,
@@ -81,6 +117,8 @@ fn run_case(name: &str, original: &Netlist, key_width: usize, samples: usize) ->
         iterations_match: rebuild.iterations == incremental.iterations,
         keys_correct: key_is_correct(&locked, original, &rebuild.key)
             && key_is_correct(&locked, original, &incremental.key),
+        indeterminate,
+        budget_conflicts,
     }
 }
 
@@ -113,7 +151,7 @@ fn main() {
     };
 
     println!(
-        "{:<12} {:>9} {:>10} {:>11} {:>6} {:>14} {:>14} {:>9} {:>11} {:>8}",
+        "{:<12} {:>9} {:>10} {:>11} {:>6} {:>14} {:>14} {:>9} {:>11} {:>8} {:>6} {:>11}",
         "case",
         "key_bits",
         "dip_iters",
@@ -123,11 +161,13 @@ fn main() {
         "incr_ns",
         "speedup",
         "iters_match",
-        "keys_ok"
+        "keys_ok",
+        "indet",
+        "bdgt_confl"
     );
     for r in &results {
         println!(
-            "{:<12} {:>9} {:>10} {:>11} {:>6} {:>14} {:>14} {:>8.1}x {:>11} {:>8}",
+            "{:<12} {:>9} {:>10} {:>11} {:>6} {:>14} {:>14} {:>8.1}x {:>11} {:>8} {:>6} {:>11}",
             r.name,
             r.key_width,
             r.iterations,
@@ -137,7 +177,9 @@ fn main() {
             r.incremental_ns,
             r.speedup,
             r.iterations_match,
-            r.keys_correct
+            r.keys_correct,
+            r.indeterminate,
+            r.budget_conflicts
         );
         assert!(
             r.iterations_match,
@@ -161,6 +203,8 @@ fn main() {
                 .field("speedup", r.speedup)
                 .field("iterations_match", r.iterations_match)
                 .field("keys_correct", r.keys_correct)
+                .field("indeterminate", r.indeterminate)
+                .field("budget_conflicts", r.budget_conflicts as i64)
                 .build()
         })
         .collect();

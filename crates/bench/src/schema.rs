@@ -77,6 +77,8 @@ pub fn result_schema(bench: &str) -> Option<&'static [(&'static str, FieldKind)]
             ("speedup", Num),
             ("iterations_match", Bool),
             ("keys_correct", Bool),
+            ("indeterminate", Bool),
+            ("budget_conflicts", Int),
         ]),
         "parse" => Some(&[
             ("case", Str),
@@ -195,7 +197,8 @@ mod tests {
             {"case":"c17_xor4","key_width":4,"dip_iterations":2,
              "aig_clauses":120,"portfolio_k":4,
              "rebuild_ns":500,"incremental_ns":200,"speedup":2.5,
-             "iterations_match":true,"keys_correct":true}]}"#;
+             "iterations_match":true,"keys_correct":true,
+             "indeterminate":true,"budget_conflicts":17}]}"#;
         assert_eq!(validate_bench_text(sat).unwrap(), "sat_attack");
         let parse = r#"{"bench":"parse","quick":true,"results":[
             {"case":"parse_1k","gates":1000,"bytes":25000,"parse_ns":900,

@@ -23,7 +23,10 @@ use seceda_lock::xor_lock;
 use seceda_netlist::{Netlist, NetlistError};
 use seceda_sca::{first_order_leaks, mask_netlist, ProbingModel};
 use seceda_sim::signal_probabilities;
+use seceda_testkit::chaos;
+use seceda_testkit::par::par_map_catch;
 use seceda_trojan::insert_rare_event_monitor;
+use std::time::{Duration, Instant};
 
 /// A design plus the interface semantics the evaluations need.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +91,11 @@ pub struct SecurityEvaluation {
     pub rare_threshold: f64,
     /// Seed for the stochastic evaluations.
     pub seed: u64,
+    /// Per-threat wall-clock budget slice. A threat evaluator that
+    /// overruns its slice degrades to [`crate::Verdict::Unavailable`]
+    /// instead of stalling the whole re-evaluation; `None` (the default)
+    /// leaves evaluations unbounded.
+    pub threat_budget: Option<Duration>,
 }
 
 impl Default for SecurityEvaluation {
@@ -100,6 +108,7 @@ impl Default for SecurityEvaluation {
             max_unmonitored_rare_nets: 0,
             rare_threshold: 0.05,
             seed: 0xC0DE,
+            threat_budget: None,
         }
     }
 }
@@ -152,6 +161,14 @@ impl CompositionEngine {
     /// Evaluates every threat vector on the current design and appends
     /// the report to the history.
     ///
+    /// The four threat evaluators run isolated from each other: each is
+    /// caught on panic and bounded by its own
+    /// [`SecurityEvaluation::threat_budget`] wall-clock slice, so one
+    /// crashing or overrunning evaluator degrades *its* metric to
+    /// [`crate::Verdict::Unavailable`] while the rest of the
+    /// re-evaluation completes normally. Degradations are counted on the
+    /// `compose.threats_degraded` trace counter.
+    ///
     /// # Errors
     ///
     /// Propagates simulator errors.
@@ -159,117 +176,95 @@ impl CompositionEngine {
         let mut eval_span = seceda_trace::span("compose.evaluate")
             .with("label", label)
             .with("gates", self.dut.netlist.num_gates());
-        let mut report = SecurityReport::new(label);
-
-        // --- side channels: exact first-order probing when masked ---
-        let threat_t = seceda_trace::hist_timer("compose.threat_ns");
-        let sp = seceda_trace::span("compose.threat").with("threat", "side-channel");
-        match &self.dut.probing_model {
-            Some(model)
-                if self.dut.netlist.inputs().len()
-                    == model.num_secrets * seceda_sca::NUM_SHARES + model.num_randoms =>
-            {
-                let leaks = first_order_leaks(&self.dut.netlist, model);
-                report.metrics.push(SecurityMetric::new(
-                    "first-order probing leaks",
-                    ThreatVector::SideChannel,
-                    MetricValue::LowerBetter {
-                        value: leaks.len() as f64,
-                        threshold: self.eval.max_probing_leaks as f64,
-                    },
-                ));
+        let threats: [(&str, ThreatVector, &str); 4] = [
+            (
+                "side-channel",
+                ThreatVector::SideChannel,
+                "first-order probing leaks",
+            ),
+            (
+                "fault-injection",
+                ThreatVector::FaultInjection,
+                "fault-detection coverage",
+            ),
+            ("piracy", ThreatVector::Piracy, "locking key bits"),
+            ("trojan", ThreatVector::Trojan, "unmonitored rare nets"),
+        ];
+        // every threat gets its own slice of equal length, started
+        // together (the evaluators run concurrently)
+        let slice_deadline = self.eval.threat_budget.map(|d| Instant::now() + d);
+        let dut = &self.dut;
+        let eval = &self.eval;
+        let results = par_map_catch(&threats, |i, &(tag, threat, name)| {
+            let _threat_t = seceda_trace::hist_timer("compose.threat_ns");
+            let _sp = seceda_trace::span("compose.threat").with("threat", tag);
+            if chaos::active() {
+                chaos::maybe_panic("compose.threat.panic", i as u64);
+                if chaos::maybe_exhaust("compose.threat.exhaust", i as u64) {
+                    seceda_trace::counter("chaos.injections", 1);
+                    return Ok(SecurityMetric::unavailable(
+                        name,
+                        threat,
+                        "chaos-injected budget exhaustion",
+                    ));
+                }
             }
-            _ => {
-                // unmasked: every secret wire is a first-order leak
-                report.metrics.push(SecurityMetric::new(
-                    "first-order probing leaks",
-                    ThreatVector::SideChannel,
-                    MetricValue::LowerBetter {
-                        value: self.dut.netlist.inputs().len().max(1) as f64,
-                        threshold: self.eval.max_probing_leaks as f64,
-                    },
-                ));
+            if let Some(at) = slice_deadline {
+                if Instant::now() >= at {
+                    return Ok(SecurityMetric::unavailable(
+                        name,
+                        threat,
+                        "threat budget slice exhausted before evaluation started",
+                    ));
+                }
+            }
+            let metric = match i {
+                0 => eval_side_channel(dut, eval),
+                1 => eval_fault_injection(dut, eval)?,
+                2 => eval_piracy(dut, eval),
+                3 => eval_trojan(dut, eval)?,
+                _ => unreachable!("four threat vectors"),
+            };
+            if let Some(at) = slice_deadline {
+                if Instant::now() >= at {
+                    return Ok(SecurityMetric::unavailable(
+                        name,
+                        threat,
+                        "threat budget slice exhausted",
+                    ));
+                }
+            }
+            Ok(metric)
+        });
+        let mut report = SecurityReport::new(label);
+        let mut degraded = 0u64;
+        for (res, &(_, threat, name)) in results.into_iter().zip(&threats) {
+            match res {
+                Ok(Ok(metric)) => {
+                    if !metric.value.is_available() {
+                        degraded += 1;
+                    }
+                    report.metrics.push(metric);
+                }
+                // simulator errors are real errors, not degradations
+                Ok(Err(e)) => return Err(e),
+                Err(p) => {
+                    if p.message.starts_with("chaos:") {
+                        seceda_trace::counter("chaos.injections", 1);
+                    }
+                    degraded += 1;
+                    report.metrics.push(SecurityMetric::unavailable(
+                        name,
+                        threat,
+                        format!("threat evaluator panicked: {}", p.message),
+                    ));
+                }
             }
         }
-        drop(sp);
-        drop(threat_t);
-
-        // --- fault injection: detection coverage on single gate faults ---
-        let threat_t = seceda_trace::hist_timer("compose.threat_ns");
-        let sp = seceda_trace::span("compose.threat").with("threat", "fault-injection");
-        let protected = ProtectedNetlist {
-            netlist: self.dut.netlist.clone(),
-            alarm_index: self.dut.alarm_index,
-        };
-        let campaign = FaultCampaign {
-            model: InjectionModel::RandomGate,
-            shots: self.eval.fia_shots,
-            seed: self.eval.seed,
-        };
-        let analysis = analyze_faults(&protected, &campaign, 4, self.eval.seed ^ 1)?;
-        let coverage = if analysis.detected + analysis.silent == 0 {
-            // nothing corrupted anything — treat as covered only when an
-            // alarm exists; an unprotected design earns no credit
-            if self.dut.alarm_index.is_some() {
-                1.0
-            } else {
-                0.0
-            }
-        } else {
-            analysis.detection_coverage
-        };
-        report.metrics.push(SecurityMetric::new(
-            "fault-detection coverage",
-            ThreatVector::FaultInjection,
-            MetricValue::HigherBetter {
-                value: coverage,
-                threshold: self.eval.min_fault_coverage,
-            },
-        ));
-        drop(sp);
-        drop(threat_t);
-
-        // --- piracy: locking key material present ---
-        let threat_t = seceda_trace::hist_timer("compose.threat_ns");
-        let sp = seceda_trace::span("compose.threat").with("threat", "piracy");
-        report.metrics.push(SecurityMetric::new(
-            "locking key bits",
-            ThreatVector::Piracy,
-            MetricValue::HigherBetter {
-                value: self.dut.key_bits as f64,
-                threshold: self.eval.min_key_bits as f64,
-            },
-        ));
-        drop(sp);
-        drop(threat_t);
-
-        // --- Trojans: unmonitored rare-net surface ---
-        let threat_t = seceda_trace::hist_timer("compose.threat_ns");
-        let sp = seceda_trace::span("compose.threat").with("threat", "trojan");
-        let probs = signal_probabilities(&self.dut.netlist, 32, self.eval.seed ^ 2)?;
-        // nets that never toggle (empirical rarity 0) cannot fire a
-        // functional trigger and are excluded, matching the insertion
-        // model in `seceda-trojan`
-        let rare = self
-            .dut
-            .netlist
-            .gates()
-            .iter()
-            .map(|g| probs[g.output.index()])
-            .map(|p| p.min(1.0 - p))
-            .filter(|&r| r > 0.0 && r <= self.eval.rare_threshold)
-            .count();
-        let unmonitored = if self.dut.monitored { 0 } else { rare };
-        report.metrics.push(SecurityMetric::new(
-            "unmonitored rare nets",
-            ThreatVector::Trojan,
-            MetricValue::LowerBetter {
-                value: unmonitored as f64,
-                threshold: self.eval.max_unmonitored_rare_nets as f64,
-            },
-        ));
-        drop(sp);
-        drop(threat_t);
+        if degraded > 0 {
+            seceda_trace::counter("compose.threats_degraded", degraded);
+        }
+        eval_span.attr("degraded", degraded);
 
         let failing = report
             .metrics
@@ -352,6 +347,105 @@ impl CompositionEngine {
             regressions,
         })
     }
+}
+
+/// Side channels: exact first-order probing when masked; every secret
+/// wire counts as a leak otherwise.
+fn eval_side_channel(dut: &DesignUnderTest, eval: &SecurityEvaluation) -> SecurityMetric {
+    let leaks = match &dut.probing_model {
+        Some(model)
+            if dut.netlist.inputs().len()
+                == model.num_secrets * seceda_sca::NUM_SHARES + model.num_randoms =>
+        {
+            first_order_leaks(&dut.netlist, model).len()
+        }
+        // unmasked: every secret wire is a first-order leak
+        _ => dut.netlist.inputs().len().max(1),
+    };
+    SecurityMetric::new(
+        "first-order probing leaks",
+        ThreatVector::SideChannel,
+        MetricValue::LowerBetter {
+            value: leaks as f64,
+            threshold: eval.max_probing_leaks as f64,
+        },
+    )
+}
+
+/// Fault injection: detection coverage on single gate faults.
+fn eval_fault_injection(
+    dut: &DesignUnderTest,
+    eval: &SecurityEvaluation,
+) -> Result<SecurityMetric, NetlistError> {
+    let protected = ProtectedNetlist {
+        netlist: dut.netlist.clone(),
+        alarm_index: dut.alarm_index,
+    };
+    let campaign = FaultCampaign {
+        model: InjectionModel::RandomGate,
+        shots: eval.fia_shots,
+        seed: eval.seed,
+    };
+    let analysis = analyze_faults(&protected, &campaign, 4, eval.seed ^ 1)?;
+    let coverage = if analysis.detected + analysis.silent == 0 {
+        // nothing corrupted anything — treat as covered only when an
+        // alarm exists; an unprotected design earns no credit
+        if dut.alarm_index.is_some() {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        analysis.detection_coverage
+    };
+    Ok(SecurityMetric::new(
+        "fault-detection coverage",
+        ThreatVector::FaultInjection,
+        MetricValue::HigherBetter {
+            value: coverage,
+            threshold: eval.min_fault_coverage,
+        },
+    ))
+}
+
+/// Piracy: locking key material present.
+fn eval_piracy(dut: &DesignUnderTest, eval: &SecurityEvaluation) -> SecurityMetric {
+    SecurityMetric::new(
+        "locking key bits",
+        ThreatVector::Piracy,
+        MetricValue::HigherBetter {
+            value: dut.key_bits as f64,
+            threshold: eval.min_key_bits as f64,
+        },
+    )
+}
+
+/// Trojans: unmonitored rare-net surface.
+fn eval_trojan(
+    dut: &DesignUnderTest,
+    eval: &SecurityEvaluation,
+) -> Result<SecurityMetric, NetlistError> {
+    let probs = signal_probabilities(&dut.netlist, 32, eval.seed ^ 2)?;
+    // nets that never toggle (empirical rarity 0) cannot fire a
+    // functional trigger and are excluded, matching the insertion
+    // model in `seceda-trojan`
+    let rare = dut
+        .netlist
+        .gates()
+        .iter()
+        .map(|g| probs[g.output.index()])
+        .map(|p| p.min(1.0 - p))
+        .filter(|&r| r > 0.0 && r <= eval.rare_threshold)
+        .count();
+    let unmonitored = if dut.monitored { 0 } else { rare };
+    Ok(SecurityMetric::new(
+        "unmonitored rare nets",
+        ThreatVector::Trojan,
+        MetricValue::LowerBetter {
+            value: unmonitored as f64,
+            threshold: eval.max_unmonitored_rare_nets as f64,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -466,6 +560,56 @@ mod tests {
             .find(|m| m.name == "unmonitored rare nets")
             .expect("metric");
         assert_eq!(trojan.verdict, V::Pass);
+    }
+
+    #[test]
+    fn chaos_panic_in_one_threat_degrades_only_that_metric() {
+        chaos::with_forced("compose.threat.panic", Some(1), || {
+            let mut engine = CompositionEngine::new(and_gadget(), SecurityEvaluation::default());
+            let report = engine.evaluate("chaotic").expect("eval completes").clone();
+            assert_eq!(report.metrics.len(), 4, "every threat stays in the report");
+            let degraded = report.degraded();
+            assert_eq!(degraded.len(), 1, "exactly the injected threat degrades");
+            assert_eq!(degraded[0].name, "fault-detection coverage");
+            assert_eq!(degraded[0].verdict, V::Unavailable);
+            assert!(matches!(
+                &degraded[0].value,
+                MetricValue::Unavailable { reason } if reason.contains("chaos")
+            ));
+            // the other three evaluated normally
+            for name in [
+                "first-order probing leaks",
+                "locking key bits",
+                "unmonitored rare nets",
+            ] {
+                let m = report
+                    .metrics
+                    .iter()
+                    .find(|m| m.name == name)
+                    .expect("metric present");
+                assert_ne!(m.verdict, V::Unavailable, "{name} must not degrade");
+            }
+        });
+    }
+
+    #[test]
+    fn zero_threat_budget_degrades_every_metric_but_completes() {
+        let eval = SecurityEvaluation {
+            threat_budget: Some(Duration::ZERO),
+            ..SecurityEvaluation::default()
+        };
+        let mut engine = CompositionEngine::new(and_gadget(), eval);
+        let report = engine.evaluate("starved").expect("eval completes").clone();
+        assert_eq!(report.metrics.len(), 4);
+        assert_eq!(report.degraded().len(), 4, "no slice, no value");
+        assert!(
+            report.all_pass(),
+            "degraded metrics must not fail the report"
+        );
+        // and a fresh un-starved evaluation recovers
+        engine.eval.threat_budget = None;
+        let healthy = engine.evaluate("recovered").expect("eval").clone();
+        assert!(healthy.degraded().is_empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use seceda_testkit::json::{Json, ToJson};
 use std::fmt;
 
 /// A measured metric value with its pass direction.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {
     /// Higher is better (e.g. fault-detection coverage).
     HigherBetter {
@@ -34,26 +34,44 @@ pub enum MetricValue {
         /// Measured value.
         value: f64,
     },
+    /// The evaluation could not produce a value — it panicked, exceeded
+    /// its budget slice, or was chaos-injected. Graceful degradation:
+    /// the metric stays in the report (so the rest of the evaluation is
+    /// not lost) with the reason, and yields [`Verdict::Unavailable`]
+    /// rather than silently passing or failing.
+    Unavailable {
+        /// Why the evaluation produced no value.
+        reason: String,
+    },
 }
 
 impl MetricValue {
     /// Whether the metric meets its threshold. Informational metrics
-    /// have no threshold and never fail.
+    /// have no threshold and never fail; unavailable metrics carry no
+    /// value and never "pass" (they are gated by
+    /// [`Verdict::Unavailable`], not by this predicate).
     pub fn passes(&self) -> bool {
-        match *self {
+        match self {
             MetricValue::HigherBetter { value, threshold } => value >= threshold,
             MetricValue::LowerBetter { value, threshold } => value <= threshold,
             MetricValue::Informational { .. } => true,
+            MetricValue::Unavailable { .. } => false,
         }
     }
 
-    /// The raw measured value.
+    /// The raw measured value (`NaN` for unavailable metrics).
     pub fn value(&self) -> f64 {
-        match *self {
+        match self {
             MetricValue::HigherBetter { value, .. }
             | MetricValue::LowerBetter { value, .. }
-            | MetricValue::Informational { value } => value,
+            | MetricValue::Informational { value } => *value,
+            MetricValue::Unavailable { .. } => f64::NAN,
         }
+    }
+
+    /// `false` when the evaluation produced no value.
+    pub fn is_available(&self) -> bool {
+        !matches!(self, MetricValue::Unavailable { .. })
     }
 }
 
@@ -66,6 +84,10 @@ pub enum Verdict {
     Fail,
     /// The metric could not be evaluated for this design.
     NotApplicable,
+    /// The evaluation was degraded (panic, budget exhaustion, chaos
+    /// injection) and produced no value this run; earlier or later runs
+    /// may still produce one.
+    Unavailable,
 }
 
 /// One evaluated security metric.
@@ -89,13 +111,30 @@ impl SecurityMetric {
         SecurityMetric {
             name: name.into(),
             threat,
-            verdict: match value {
+            verdict: match &value {
                 MetricValue::Informational { .. } => Verdict::NotApplicable,
+                MetricValue::Unavailable { .. } => Verdict::Unavailable,
                 _ if value.passes() => Verdict::Pass,
                 _ => Verdict::Fail,
             },
             value,
         }
+    }
+
+    /// Builds a degraded metric: the named evaluation could not run (or
+    /// finish) for `reason`; the verdict is [`Verdict::Unavailable`].
+    pub fn unavailable(
+        name: impl Into<String>,
+        threat: ThreatVector,
+        reason: impl Into<String>,
+    ) -> Self {
+        SecurityMetric::new(
+            name,
+            threat,
+            MetricValue::Unavailable {
+                reason: reason.into(),
+            },
+        )
     }
 }
 
@@ -135,9 +174,21 @@ impl SecurityReport {
         self.metrics.iter().filter(|m| m.threat == threat).collect()
     }
 
-    /// `true` if every metric passes.
+    /// `true` if every metric passes. Degraded ([`Verdict::Unavailable`])
+    /// metrics do not fail the report — they are surfaced separately by
+    /// [`SecurityReport::degraded`] so a partial evaluation still yields
+    /// a usable (if weaker) verdict.
     pub fn all_pass(&self) -> bool {
         self.metrics.iter().all(|m| m.verdict != Verdict::Fail)
+    }
+
+    /// Metrics whose evaluation degraded to
+    /// [`Verdict::Unavailable`] this run.
+    pub fn degraded(&self) -> Vec<&SecurityMetric> {
+        self.metrics
+            .iter()
+            .filter(|m| m.verdict == Verdict::Unavailable)
+            .collect()
     }
 
     /// Metrics that regressed (pass → fail) relative to `baseline` —
@@ -158,14 +209,23 @@ impl SecurityReport {
 
 impl ToJson for MetricValue {
     fn to_json(&self) -> Json {
-        let (direction, value, threshold) = match *self {
+        if let MetricValue::Unavailable { reason } = self {
+            return Json::obj()
+                .field("direction", "unavailable")
+                .field("value", Json::Null)
+                .field("threshold", Json::Null)
+                .field("reason", reason.as_str())
+                .build();
+        }
+        let (direction, value, threshold) = match self {
             MetricValue::HigherBetter { value, threshold } => {
-                ("higher-better", value, Json::Num(threshold))
+                ("higher-better", *value, Json::Num(*threshold))
             }
             MetricValue::LowerBetter { value, threshold } => {
-                ("lower-better", value, Json::Num(threshold))
+                ("lower-better", *value, Json::Num(*threshold))
             }
-            MetricValue::Informational { value } => ("informational", value, Json::Null),
+            MetricValue::Informational { value } => ("informational", *value, Json::Null),
+            MetricValue::Unavailable { .. } => unreachable!("handled above"),
         };
         Json::obj()
             .field("direction", direction)
@@ -182,6 +242,7 @@ impl ToJson for Verdict {
                 Verdict::Pass => "pass",
                 Verdict::Fail => "fail",
                 Verdict::NotApplicable => "n/a",
+                Verdict::Unavailable => "unavailable",
             }
             .to_string(),
         )
@@ -243,6 +304,42 @@ mod tests {
         let j = m.value.to_json();
         assert_eq!(j.get("direction"), Some(&Json::Str("informational".into())));
         assert_eq!(j.get("threshold"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn unavailable_metrics_degrade_without_failing() {
+        let m = SecurityMetric::unavailable(
+            "fault-detection coverage",
+            ThreatVector::FaultInjection,
+            "worker panicked: chaos: injected panic at compose.threat.panic#1",
+        );
+        assert_eq!(m.verdict, Verdict::Unavailable);
+        assert!(!m.value.is_available());
+        assert!(m.value.value().is_nan());
+        let mut r = SecurityReport::new("x");
+        r.metrics.push(m.clone());
+        assert!(
+            r.all_pass(),
+            "a degraded metric must not fail the whole report"
+        );
+        assert_eq!(r.degraded().len(), 1);
+        assert_eq!(r.degraded()[0].name, "fault-detection coverage");
+        // an Unavailable metric is not a regression from a passing one
+        let mut base = SecurityReport::new("base");
+        base.metrics.push(SecurityMetric::new(
+            "fault-detection coverage",
+            ThreatVector::FaultInjection,
+            MetricValue::HigherBetter {
+                value: 1.0,
+                threshold: 0.5,
+            },
+        ));
+        assert!(r.regressions_from(&base).is_empty());
+        let j = m.value.to_json();
+        assert_eq!(j.get("direction"), Some(&Json::Str("unavailable".into())));
+        assert_eq!(j.get("value"), Some(&Json::Null));
+        assert!(matches!(j.get("reason"), Some(Json::Str(s)) if s.contains("chaos")));
+        assert_eq!(m.verdict.to_json(), Json::Str("unavailable".into()));
     }
 
     #[test]

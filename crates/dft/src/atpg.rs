@@ -14,8 +14,8 @@
 
 use seceda_netlist::{NetId, Netlist, NetlistError};
 use seceda_sat::{
-    encode_faulty_cone, encode_netlist, CnfBuilder, GatedCnf, Lit, NetlistEncoding, SatResult,
-    Solver,
+    encode_faulty_cone, encode_netlist, Budget, CnfBuilder, GatedCnf, Lit, NetlistEncoding,
+    SolveOutcome, Solver, StopReason,
 };
 use seceda_sim::{fault::stuck_at_universe, Fault, FaultKind, PackedFaultSim};
 use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
@@ -31,6 +31,20 @@ pub struct AtpgResult {
     pub coverage: f64,
     /// Total fault universe size.
     pub total_faults: usize,
+}
+
+/// What a budgeted single-fault query produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultTestOutcome {
+    /// A test pattern exposing the fault.
+    Test(Vec<bool>),
+    /// Proven untestable (redundant logic, or the fault reaches no
+    /// output).
+    Untestable,
+    /// The per-fault budget ran out before the query was decided — the
+    /// industry-standard *aborted fault*. The solver stays usable; the
+    /// fault's clause group is retired, so later queries are unaffected.
+    Aborted(StopReason),
 }
 
 /// A persistent incremental ATPG engine: the good circuit is encoded
@@ -81,6 +95,30 @@ impl<'a> AtpgSolver<'a> {
     ///
     /// Propagates encoding errors.
     pub fn generate_test(&mut self, fault: Fault) -> Result<Option<Vec<bool>>, NetlistError> {
+        match self.generate_test_budgeted(fault, &Budget::unlimited())? {
+            FaultTestOutcome::Test(pattern) => Ok(Some(pattern)),
+            FaultTestOutcome::Untestable => Ok(None),
+            // unlimited budgets skip every budget check
+            FaultTestOutcome::Aborted(reason) => {
+                unreachable!("unbudgeted ATPG query aborted: {reason}")
+            }
+        }
+    }
+
+    /// Budgeted [`AtpgSolver::generate_test`]: the sensitization query
+    /// runs under `budget`, and exhaustion yields
+    /// [`FaultTestOutcome::Aborted`] instead of an answer. The aborted
+    /// fault's clause group is retired exactly like a decided one, so
+    /// the engine continues to the next fault with a consistent solver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn generate_test_budgeted(
+        &mut self,
+        fault: Fault,
+        budget: &Budget,
+    ) -> Result<FaultTestOutcome, NetlistError> {
         let faulty_source = self.faulty_source(fault);
         let sel = self.solver.new_var();
         let guard = sel.neg();
@@ -96,7 +134,7 @@ impl<'a> AtpgSolver<'a> {
             // the fault reaches no primary output: untestable without a
             // single solver call
             self.solver.add_clause([guard]);
-            return Ok(None);
+            return Ok(FaultTestOutcome::Untestable);
         }
         // gated sensitization requirement: some cone output must differ
         let mut gated = GatedCnf::new(&mut self.solver, guard);
@@ -108,18 +146,19 @@ impl<'a> AtpgSolver<'a> {
             diffs.push(d);
         }
         gated.add_clause(diffs);
-        let result = self.solver.solve_with_assumptions(&[sel.pos()]);
+        let result = self.solver.solve_budgeted(&[sel.pos()], budget);
         // retire this fault's clause group for good
         self.solver.add_clause([guard]);
         Ok(match result {
-            SatResult::Sat(model) => Some(
+            SolveOutcome::Sat(model) => FaultTestOutcome::Test(
                 self.good
                     .input_vars
                     .iter()
                     .map(|v| model[v.index()])
                     .collect(),
             ),
-            SatResult::Unsat => None,
+            SolveOutcome::Unsat => FaultTestOutcome::Untestable,
+            SolveOutcome::Indeterminate(reason) => FaultTestOutcome::Aborted(reason),
         })
     }
 
@@ -273,6 +312,36 @@ mod tests {
             let fresh = generate_test_for(&nl, f).expect("query").is_some();
             assert_eq!(shared, fresh, "testability verdicts diverge on {f:?}");
         }
+    }
+
+    #[test]
+    fn zero_budget_aborts_fault_and_solver_stays_usable() {
+        let nl = c17();
+        let faults = stuck_at_universe(&nl);
+        let mut atpg = AtpgSolver::new(&nl).expect("encode");
+        // starve the first query by propagations: the first poll fires
+        // immediately, before any decision can be made
+        let starved = Budget::unlimited().with_max_propagations(0);
+        let aborted = atpg
+            .generate_test_budgeted(faults[0], &starved)
+            .expect("query");
+        assert!(
+            matches!(aborted, FaultTestOutcome::Aborted(_)),
+            "a zero-propagation budget must abort: {aborted:?}"
+        );
+        // the aborted fault's cone was retired; every later unbudgeted
+        // query must still agree with a fresh one-shot solver
+        for &f in &faults {
+            let shared = atpg.generate_test(f).expect("query").is_some();
+            let fresh = generate_test_for(&nl, f).expect("query").is_some();
+            assert_eq!(shared, fresh, "verdicts diverge after abort on {f:?}");
+        }
+        // and re-querying the starved fault with no budget decides it
+        assert!(matches!(
+            atpg.generate_test_budgeted(faults[0], &Budget::unlimited())
+                .expect("query"),
+            FaultTestOutcome::Test(_) | FaultTestOutcome::Untestable
+        ));
     }
 
     #[test]

@@ -30,5 +30,8 @@ mod locking;
 pub use camouflage::{camouflage, decamouflage, CamouflagedNetlist};
 pub use locking::{mux_lock, sfll_hd0, xor_lock, LockedNetlist};
 pub use metrics::{output_corruption, CorruptionReport};
-pub use sat_attack::{sat_attack, sat_attack_rebuild, SatAttackResult};
+pub use sat_attack::{
+    sat_attack, sat_attack_budgeted, sat_attack_rebuild, SatAttackCheckpoint, SatAttackOutcome,
+    SatAttackResult,
+};
 pub use watermark::{embed_watermark, verify_watermark, Watermark};

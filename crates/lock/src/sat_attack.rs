@@ -30,8 +30,8 @@
 use crate::locking::LockedNetlist;
 use seceda_netlist::NetlistError;
 use seceda_sat::{
-    encode_netlist, lower_netlist_bound, Aig, AigCnf, AigLit, Cnf, CnfBuilder, Lit, Portfolio,
-    SatResult, Solver, Var,
+    encode_netlist, lower_netlist_bound, Aig, AigCnf, AigLit, Budget, Cnf, CnfBuilder, Lit,
+    Portfolio, SatResult, SolveOutcome, Solver, StopReason, Var,
 };
 
 /// Outcome of a SAT attack.
@@ -54,6 +54,47 @@ pub struct SatAttackResult {
     pub clauses: usize,
     /// Number of racing portfolio members (1 for the rebuild baseline).
     pub portfolio_k: usize,
+}
+
+/// Everything a suspended [`sat_attack_budgeted`] run needs to resume on
+/// a fresh solver: the accumulated oracle observations plus the
+/// transcript bookkeeping. The observations *are* the attack's state —
+/// the DIP sequence is a property of the formula (lex-min
+/// canonicalization), so replaying the observations into a fresh
+/// scaffold reproduces the exact formula the suspended run held, and the
+/// resumed run continues bit-identically to a never-suspended one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SatAttackCheckpoint {
+    /// Accumulated `(x_hat, y_hat)` oracle observations, in DIP order.
+    pub observations: Vec<(Vec<bool>, Vec<bool>)>,
+    /// Completed DIP iterations (equals `observations.len()`).
+    pub iterations: usize,
+    /// Total solver conflicts spent so far, *including* effort lost to
+    /// the suspended partial solve (which a resume redoes from scratch).
+    pub conflicts: u64,
+    /// Per-completed-iteration conflict deltas (see
+    /// [`SatAttackResult::conflict_deltas`]); the suspended solve has no
+    /// entry.
+    pub conflict_deltas: Vec<u64>,
+}
+
+/// Result of a budgeted SAT attack: done, provably key-free, or
+/// suspended with a resumable checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SatAttackOutcome {
+    /// The attack finished and recovered a key.
+    Complete(SatAttackResult),
+    /// The attack finished: no key satisfies the observations (cannot
+    /// happen for consistently locked designs).
+    NoKey,
+    /// The budget ran out mid-attack. Resume by passing the checkpoint
+    /// back to [`sat_attack_budgeted`] with a fresh budget.
+    Suspended {
+        /// State to resume from.
+        checkpoint: SatAttackCheckpoint,
+        /// Which limit stopped the run.
+        reason: StopReason,
+    },
 }
 
 /// Encodes the attack scaffolding — two copies of the locked circuit
@@ -265,6 +306,21 @@ fn lex_min_model(
     base: &[Lit],
     model: &[bool],
 ) -> Vec<bool> {
+    lex_min_model_budgeted(&mut |a| solve(a).into(), vars, base, model)
+        .unwrap_or_else(|reason| unreachable!("unbudgeted lex-min suspended: {reason}"))
+}
+
+/// Budget-aware [`lex_min_model`]: identical bit-by-bit refinement, but
+/// each query may come back [`SolveOutcome::Indeterminate`], in which
+/// case the whole refinement aborts with the stop reason (a partially
+/// minimized assignment is NOT canonical and must not leak into the DIP
+/// transcript).
+fn lex_min_model_budgeted(
+    solve: &mut impl FnMut(&[Lit]) -> SolveOutcome,
+    vars: &[Var],
+    base: &[Lit],
+    model: &[bool],
+) -> Result<Vec<bool>, StopReason> {
     let mut assumptions = base.to_vec();
     let mut current: Vec<bool> = vars.iter().map(|v| model[v.index()]).collect();
     for i in 0..vars.len() {
@@ -272,22 +328,23 @@ fn lex_min_model(
             // can this bit be false? (the current model only witnesses true)
             assumptions.push(vars[i].neg());
             match solve(&assumptions) {
-                SatResult::Sat(m) => {
+                SolveOutcome::Sat(m) => {
                     current[i] = false;
                     for (j, vj) in vars.iter().enumerate().skip(i + 1) {
                         current[j] = m[vj.index()];
                     }
                 }
-                SatResult::Unsat => {
+                SolveOutcome::Unsat => {
                     assumptions.pop();
                     assumptions.push(vars[i].pos());
                 }
+                SolveOutcome::Indeterminate(reason) => return Err(reason),
             }
         } else {
             assumptions.push(vars[i].neg());
         }
     }
-    current
+    Ok(current)
 }
 
 /// Runs the SAT attack against `locked`, using `oracle` as the activated
@@ -308,8 +365,53 @@ pub fn sat_attack(
     locked: &LockedNetlist,
     oracle: impl Fn(&[bool]) -> Vec<bool>,
 ) -> Result<Option<SatAttackResult>, NetlistError> {
+    match sat_attack_budgeted(locked, oracle, &Budget::unlimited(), None)? {
+        SatAttackOutcome::Complete(r) => Ok(Some(r)),
+        SatAttackOutcome::NoKey => Ok(None),
+        // unlimited budgets skip every budget check (and chaos only
+        // injects exhaustion into limited budgets), so suspension is
+        // impossible here
+        SatAttackOutcome::Suspended { reason, .. } => {
+            unreachable!("unbudgeted SAT attack suspended: {reason}")
+        }
+    }
+}
+
+/// Budgeted, checkpointable SAT attack.
+///
+/// Runs the same incremental lex-min-canonicalized attack as
+/// [`sat_attack`], but threads `budget` through every constituent solve:
+/// the **conflict cap meters the whole attack** (each solve gets what the
+/// previous ones left over, by accumulated winning-member conflicts), the
+/// **propagation cap applies per constituent solve**, and the deadline /
+/// cancel flag bound the entire computation. When the budget runs out the
+/// attack returns [`SatAttackOutcome::Suspended`] with a
+/// [`SatAttackCheckpoint`] holding every completed observation; passing
+/// that checkpoint back (with a fresh budget) resumes on a fresh solver
+/// by replaying the observations into a new scaffold.
+///
+/// Because every DIP and the key are lex-min canonical — properties of
+/// the formula, not of solver state — a suspended-and-resumed attack
+/// recovers **bit-identical** iteration counts, DIP sequences, and keys
+/// to a straight-through run. The interrupted solve's partial effort is
+/// discarded (it is counted in [`SatAttackCheckpoint::conflicts`] but has
+/// no `conflict_deltas` entry, and the resume redoes that solve from
+/// scratch), so resuming with an equally tiny conflict budget can make no
+/// progress; resume with a larger or unlimited budget.
+///
+/// # Errors
+///
+/// Propagates encoding errors (cyclic netlists).
+pub fn sat_attack_budgeted(
+    locked: &LockedNetlist,
+    oracle: impl Fn(&[bool]) -> Vec<bool>,
+    budget: &Budget,
+    resume: Option<&SatAttackCheckpoint>,
+) -> Result<SatAttackOutcome, NetlistError> {
     let mut sp = seceda_trace::span("lock.sat_attack");
     sp.attr("key_width", locked.key_width());
+    sp.attr("budgeted", budget.is_limited());
+    sp.attr("resumed", resume.is_some());
     let mut solver = Portfolio::from_env(0);
     sp.attr("portfolio_k", solver.k());
     // a literal that is false in every model, for lowering AIG constants
@@ -317,55 +419,134 @@ pub fn sat_attack(
     solver.add_clause([!const_false]);
     let mut sc = encode_attack_scaffold_aig(locked, const_false, &mut solver)?;
     let diff = sc.diff;
-    let mut iterations = 0usize;
-    let mut conflict_deltas: Vec<u64> = Vec::new();
+    let mut observations: Vec<(Vec<bool>, Vec<bool>)> =
+        resume.map(|c| c.observations.clone()).unwrap_or_default();
+    let mut iterations = resume.map_or(0, |c| c.iterations);
+    let mut conflict_deltas: Vec<u64> = resume.map_or_else(Vec::new, |c| c.conflict_deltas.clone());
+    let prior_conflicts = resume.map_or(0, |c| c.conflicts);
+    // replay checkpointed observations into the fresh scaffold; the
+    // hash-consed AIG reproduces the suspended run's formula exactly
+    for (x_hat, y_hat) in &observations {
+        encode_observation_aig(locked, &mut sc, &mut solver, x_hat, y_hat)?;
+    }
+    // the fresh portfolio starts at zero conflicts, so its aggregate
+    // counter IS this run's spent-conflict meter
+    let suspend = |solver: &Portfolio,
+                   observations: Vec<(Vec<bool>, Vec<bool>)>,
+                   iterations: usize,
+                   conflict_deltas: Vec<u64>,
+                   reason: StopReason| {
+        seceda_trace::counter("lock.attack_suspended", 1);
+        SatAttackOutcome::Suspended {
+            checkpoint: SatAttackCheckpoint {
+                observations,
+                iterations,
+                conflicts: prior_conflicts + solver.num_conflicts,
+                conflict_deltas,
+            },
+            reason,
+        }
+    };
     loop {
         // one histogram sample per DIP iteration (the final UNSAT
         // round included), so slow-iteration tails show up as p99
         let _iter_t = seceda_trace::hist_timer("sat.dip_iter_ns");
         let before = solver.num_conflicts;
-        match solver.solve_with_assumptions(&[diff]) {
-            SatResult::Sat(model) => {
-                iterations += 1;
-                seceda_trace::progress("lock.dip_iterations", iterations as u64);
-                let x_hat = lex_min_model(
-                    &mut |a| solver.solve_with_assumptions(a),
+        let sub = budget.minus(solver.num_conflicts, 0);
+        match solver.solve_budgeted(&[diff], &sub) {
+            SolveOutcome::Sat(model) => {
+                let x_hat = match lex_min_model_budgeted(
+                    &mut |a| {
+                        let sub = budget.minus(solver.num_conflicts, 0);
+                        solver.solve_budgeted(a, &sub)
+                    },
                     &sc.x_vars,
                     &[diff],
                     &model,
-                );
+                ) {
+                    Ok(x_hat) => x_hat,
+                    Err(reason) => {
+                        // the iteration did not complete: no delta, no
+                        // observation, no iteration count
+                        sp.attr("result", "suspended");
+                        sp.attr("stop_reason", format!("{reason}"));
+                        return Ok(suspend(
+                            &solver,
+                            observations,
+                            iterations,
+                            conflict_deltas,
+                            reason,
+                        ));
+                    }
+                };
+                iterations += 1;
+                seceda_trace::progress("lock.dip_iterations", iterations as u64);
                 conflict_deltas.push(solver.num_conflicts - before);
                 let y_hat = oracle(&x_hat);
                 encode_observation_aig(locked, &mut sc, &mut solver, &x_hat, &y_hat)?;
+                observations.push((x_hat, y_hat));
             }
-            SatResult::Unsat => {
+            SolveOutcome::Unsat => {
                 conflict_deltas.push(solver.num_conflicts - before);
                 // no DIP left: extract any key satisfying all
                 // observations from the SAME solver, just without the
                 // diff assumption
                 let before = solver.num_conflicts;
-                let result = match solver.solve() {
-                    SatResult::Sat(model) => {
+                let sub = budget.minus(solver.num_conflicts, 0);
+                let result = match solver.solve_budgeted(&[], &sub) {
+                    SolveOutcome::Sat(model) => {
                         // canonicalize to the lex-min key so the result
                         // is a property of the formula, not of which
                         // portfolio member answered first
-                        let key = lex_min_model(
-                            &mut |a| solver.solve_with_assumptions(a),
+                        let key = match lex_min_model_budgeted(
+                            &mut |a| {
+                                let sub = budget.minus(solver.num_conflicts, 0);
+                                solver.solve_budgeted(a, &sub)
+                            },
                             &sc.k1,
                             &[],
                             &model,
-                        );
+                        ) {
+                            Ok(key) => key,
+                            Err(reason) => {
+                                // withdraw the exhausted-DIP delta: the
+                                // resume redoes that proof and the
+                                // extraction together
+                                conflict_deltas.pop();
+                                sp.attr("result", "suspended");
+                                sp.attr("stop_reason", format!("{reason}"));
+                                return Ok(suspend(
+                                    &solver,
+                                    observations,
+                                    iterations,
+                                    conflict_deltas,
+                                    reason,
+                                ));
+                            }
+                        };
                         conflict_deltas.push(solver.num_conflicts - before);
-                        Some(SatAttackResult {
+                        SatAttackOutcome::Complete(SatAttackResult {
                             key,
                             iterations,
-                            conflicts: solver.num_conflicts,
+                            conflicts: prior_conflicts + solver.num_conflicts,
                             conflict_deltas,
                             clauses: solver.primary().num_problem_clauses(),
                             portfolio_k: solver.k(),
                         })
                     }
-                    SatResult::Unsat => None,
+                    SolveOutcome::Unsat => SatAttackOutcome::NoKey,
+                    SolveOutcome::Indeterminate(reason) => {
+                        conflict_deltas.pop();
+                        sp.attr("result", "suspended");
+                        sp.attr("stop_reason", format!("{reason}"));
+                        return Ok(suspend(
+                            &solver,
+                            observations,
+                            iterations,
+                            conflict_deltas,
+                            reason,
+                        ));
+                    }
                 };
                 seceda_trace::counter("lock.dip_iterations", iterations as u64);
                 seceda_trace::counter("sat.aig_nodes", sc.aig.num_nodes() as u64);
@@ -373,6 +554,17 @@ pub fn sat_attack(
                 sp.attr("iterations", iterations);
                 sp.attr("aig_nodes", sc.aig.num_nodes());
                 return Ok(result);
+            }
+            SolveOutcome::Indeterminate(reason) => {
+                sp.attr("result", "suspended");
+                sp.attr("stop_reason", format!("{reason}"));
+                return Ok(suspend(
+                    &solver,
+                    observations,
+                    iterations,
+                    conflict_deltas,
+                    reason,
+                ));
             }
         }
         assert!(
@@ -528,6 +720,126 @@ mod tests {
         let rl = sat_attack(&large, oracle).expect("runs").expect("key");
         // more key gates mean at least as many (usually more) iterations
         assert!(rl.iterations >= rs.iterations);
+    }
+
+    /// Drives a budgeted attack to completion by repeatedly suspending
+    /// under `step` conflicts and resuming with a doubled budget until it
+    /// finishes, recording how many suspensions occurred.
+    fn run_with_suspensions(
+        locked: &LockedNetlist,
+        oracle: impl Fn(&[bool]) -> Vec<bool> + Copy,
+        step: u64,
+    ) -> (SatAttackResult, usize) {
+        let mut checkpoint: Option<SatAttackCheckpoint> = None;
+        let mut budget_conflicts = step;
+        let mut suspensions = 0usize;
+        loop {
+            let budget = Budget::unlimited().with_max_conflicts(budget_conflicts);
+            match sat_attack_budgeted(locked, oracle, &budget, checkpoint.as_ref())
+                .expect("attack runs")
+            {
+                SatAttackOutcome::Complete(r) => return (r, suspensions),
+                SatAttackOutcome::NoKey => panic!("consistently locked design has a key"),
+                SatAttackOutcome::Suspended {
+                    checkpoint: cp,
+                    reason,
+                } => {
+                    assert_eq!(reason, StopReason::Conflicts);
+                    assert_eq!(cp.iterations, cp.observations.len());
+                    assert_eq!(cp.conflict_deltas.len(), cp.iterations);
+                    suspensions += 1;
+                    assert!(suspensions < 64, "attack never finishes");
+                    checkpoint = Some(cp);
+                    // grow the budget so the redone solve eventually fits
+                    budget_conflicts = budget_conflicts.saturating_mul(2);
+                }
+            }
+        }
+    }
+
+    fn check_resume_matches_straight_through(
+        locked: &LockedNetlist,
+        original: &seceda_netlist::Netlist,
+    ) {
+        let oracle = |x: &[bool]| original.evaluate(x);
+        let straight = sat_attack(locked, oracle)
+            .expect("attack runs")
+            .expect("key found");
+        let (resumed, suspensions) = run_with_suspensions(locked, oracle, 1);
+        assert!(
+            suspensions > 0,
+            "a 1-conflict budget must suspend at least once"
+        );
+        // bit-identical transcript: same key, same DIP count
+        assert_eq!(resumed.key, straight.key);
+        assert_eq!(resumed.iterations, straight.iterations);
+        assert_eq!(resumed.conflict_deltas.len(), resumed.iterations + 2);
+        // suspended partial solves are counted as effort but re-done, so
+        // total conflicts can only be >= the per-iteration deltas
+        assert!(resumed.conflicts >= resumed.conflict_deltas.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn budgeted_attack_suspends_and_resumes_bit_identically() {
+        let nl = c17();
+        let locked = xor_lock(&nl, 8, 7);
+        check_resume_matches_straight_through(&locked, &nl);
+    }
+
+    #[test]
+    fn budgeted_attack_resumes_on_parsed_bench_host() {
+        let text = "\
+# c17 from the ISCAS-85 suite
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+        let nl = seceda_netlist::parse_bench(text).expect("c17 parses");
+        let locked = xor_lock(&nl, 6, 13);
+        check_resume_matches_straight_through(&locked, &nl);
+    }
+
+    #[test]
+    fn zero_conflict_budget_suspends_immediately_with_empty_checkpoint() {
+        let nl = c17();
+        let locked = xor_lock(&nl, 8, 7);
+        let oracle = |x: &[bool]| nl.evaluate(x);
+        let budget = Budget::unlimited().with_max_conflicts(0);
+        match sat_attack_budgeted(&locked, oracle, &budget, None).expect("attack runs") {
+            SatAttackOutcome::Suspended { checkpoint, reason } => {
+                assert_eq!(reason, StopReason::Conflicts);
+                assert_eq!(checkpoint.iterations, 0);
+                assert!(checkpoint.observations.is_empty());
+                assert!(checkpoint.conflict_deltas.is_empty());
+            }
+            other => panic!("expected suspension, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_attack() {
+        let nl = c17();
+        let locked = xor_lock(&nl, 8, 7);
+        let oracle = |x: &[bool]| nl.evaluate(x);
+        let plain = sat_attack(&locked, oracle).expect("runs").expect("key");
+        match sat_attack_budgeted(&locked, oracle, &Budget::unlimited(), None).expect("runs") {
+            SatAttackOutcome::Complete(r) => {
+                assert_eq!(r.key, plain.key);
+                assert_eq!(r.iterations, plain.iterations);
+                assert_eq!(r.conflict_deltas, plain.conflict_deltas);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
     }
 
     #[test]

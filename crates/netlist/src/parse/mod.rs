@@ -68,6 +68,22 @@ pub fn parse_design(text: &str, format: DesignFormat) -> Result<Netlist, Netlist
             },
         )
         .with("bytes", text.len());
+    // chaos injection point: a truncated input models an interrupted
+    // read or corrupted hand-off; the parser must reject it with a
+    // proper error, never panic
+    let chaos_text;
+    let text = if seceda_testkit::chaos::active() {
+        match seceda_testkit::chaos::truncate_input("parse.design", text) {
+            Some(t) => {
+                seceda_trace::counter("chaos.injections", 1);
+                chaos_text = t;
+                &chaos_text
+            }
+            None => text,
+        }
+    } else {
+        text
+    };
     let timer = seceda_trace::hist_timer("parse.design_ns");
     let result = match format {
         DesignFormat::Bench => parse_bench(text),
@@ -137,6 +153,29 @@ mod tests {
             Some(DesignFormat::Text)
         );
         assert_eq!(DesignFormat::from_extension("edif"), None);
+    }
+
+    #[test]
+    fn chaos_truncated_input_errors_instead_of_panicking() {
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+        // forced truncation: the cut happens on every call; the parser
+        // must return Ok or Err — never panic — and deterministically
+        let first = seceda_testkit::chaos::with_forced("parse.design", None, || {
+            parse_design(text, DesignFormat::Bench).is_ok()
+        });
+        let second = seceda_testkit::chaos::with_forced("parse.design", None, || {
+            parse_design(text, DesignFormat::Bench).is_ok()
+        });
+        assert_eq!(first, second, "truncation must be deterministic");
+        // seeded runs fire probabilistically; whatever they cut, the
+        // parser must survive
+        for seed in [1u64, 0xDEAD_BEEF, 42] {
+            seceda_testkit::chaos::with_seed(seed, || {
+                let _ = parse_design(text, DesignFormat::Bench);
+            });
+        }
+        // without chaos the same text parses cleanly
+        assert!(parse_design(text, DesignFormat::Bench).is_ok());
     }
 
     #[test]

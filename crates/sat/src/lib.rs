@@ -50,11 +50,13 @@
 pub mod aig;
 pub mod encode;
 
+mod budget;
 mod cnf;
 mod portfolio;
 mod solver;
 
 pub use aig::{encode_netlist_aig, lower_netlist_bound, Aig, AigCnf, AigLit};
+pub use budget::{Budget, SolveOutcome, StopReason};
 pub use cnf::{Cnf, CnfBuilder, GatedCnf, Lit, Var};
 pub use encode::{
     encode_faulty_cone, encode_netlist, encode_netlist_bound, miter, NetlistEncoding, Signal,

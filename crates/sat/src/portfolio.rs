@@ -18,6 +18,7 @@
 //! determinism must canonicalize the model (as the SAT attack does with
 //! its lex-min distinguishing inputs and keys).
 
+use crate::budget::{Budget, SolveOutcome};
 use crate::cnf::{CnfBuilder, Lit, Var};
 use crate::solver::{SatResult, Solver, SolverConfig};
 use seceda_testkit::par;
@@ -122,6 +123,70 @@ impl Portfolio {
         sp.attr("k", self.members.len());
         self.share_winner_glue(winner);
         result
+    }
+
+    /// Races every member under `budget` (each member gets the full
+    /// conflict/propagation allowance for its own lane; the deadline and
+    /// cancel flag are shared — see [`Budget`]). The lowest-index member
+    /// with a determined answer wins, exactly like
+    /// [`Portfolio::solve_with_assumptions`]; if *every* member ran out
+    /// of budget the call returns member 0's
+    /// [`SolveOutcome::Indeterminate`] reason (deterministic for
+    /// conflict/propagation budgets, since member 0's search is a pure
+    /// function of the formula when no race cancellation fired).
+    ///
+    /// The ternary outcome (determined vs. indeterminate, and which
+    /// determined answer) is independent of worker count and portfolio
+    /// size for conflict/propagation budgets: the race flag is only
+    /// raised *after* a determined answer exists, and all members agree
+    /// on determined answers by construction.
+    pub fn solve_budgeted(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        if self.members.len() == 1 {
+            let m = &mut self.members[0];
+            let before = m.num_conflicts;
+            let outcome = m.solve_budgeted(assumptions, budget);
+            self.num_conflicts += m.num_conflicts - before;
+            self.last_winner = 0;
+            return outcome;
+        }
+        let cancel = AtomicBool::new(false);
+        let outcomes: Vec<(SolveOutcome, u64)> =
+            par::par_map_mut(&mut self.members, |_, solver| {
+                let before = solver.num_conflicts;
+                let outcome = solver.solve_budgeted_raced(assumptions, budget, Some(&cancel));
+                if outcome.is_determined() {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+                (outcome, solver.num_conflicts - before)
+            });
+        seceda_trace::counter("sat.portfolio_races", 1);
+        let mut sp = seceda_trace::span("sat.portfolio_solve");
+        sp.attr("k", self.members.len());
+        match outcomes.iter().position(|(o, _)| o.is_determined()) {
+            Some(winner) => {
+                let (outcome, delta) = outcomes
+                    .into_iter()
+                    .nth(winner)
+                    .expect("winner index in range");
+                self.num_conflicts += delta;
+                self.last_winner = winner;
+                sp.attr("sat.portfolio_winner", winner);
+                self.share_winner_glue(winner);
+                outcome
+            }
+            None => {
+                // every lane exhausted its budget: report member 0's
+                // reason and its effort (no glue sharing — the members'
+                // partial searches are schedule-dependent under a race)
+                let (outcome, delta) = outcomes
+                    .into_iter()
+                    .next()
+                    .expect("portfolio has at least one member");
+                self.num_conflicts += delta;
+                sp.attr("result", "indeterminate");
+                outcome
+            }
+        }
     }
 
     /// Imports the winner's not-yet-shared glue clauses into every other

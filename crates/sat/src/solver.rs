@@ -9,8 +9,60 @@
 //! cancellation (for portfolio racing), and tunable search heuristics
 //! via [`SolverConfig`].
 
+use crate::budget::{Budget, SolveOutcome, StopReason};
 use crate::cnf::{Cnf, CnfBuilder, Lit, Var};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fully resolved per-call limits: absolute targets computed from a
+/// [`Budget`]'s relative caps at solve entry, plus up to two cancel
+/// flags (the budget's own and the portfolio race flag).
+struct Limits<'a> {
+    /// Stop once `num_conflicts` reaches this (absolute, not a delta).
+    conflict_target: u64,
+    /// Stop once `num_propagations` reaches this (absolute).
+    prop_target: u64,
+    deadline: Option<Instant>,
+    cancel: Option<&'a AtomicBool>,
+    race: Option<&'a AtomicBool>,
+}
+
+impl Limits<'_> {
+    /// The cheap poll run every [`CANCEL_POLL_MASK`]` + 1` propagations.
+    fn check_poll(&self, propagations: u64) -> Option<StopReason> {
+        if let Some(flag) = self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(flag) = self.race {
+            if flag.load(Ordering::Relaxed) {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if propagations >= self.prop_target {
+            return Some(StopReason::Propagations);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Checked once at solve entry, so an already-spent budget (a
+    /// `Budget::minus` remainder with nothing left, or a passed
+    /// deadline) stops deterministically *before* any search — even on
+    /// formulas small enough that no in-search poll would ever fire.
+    fn check_entry(&self, conflicts: u64, propagations: u64) -> Option<StopReason> {
+        if conflicts >= self.conflict_target {
+            return Some(StopReason::Conflicts);
+        }
+        self.check_poll(propagations)
+    }
+}
 
 /// Result of a satisfiability query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -314,6 +366,9 @@ pub struct Solver {
     /// Statistics: literals removed from learned clauses by
     /// self-subsumption minimization.
     pub num_minimized_lits: u64,
+    /// Statistics: budgeted solve calls made so far (the chaos salt for
+    /// the `sat.budget` injection point).
+    pub num_budgeted_solves: u64,
 }
 
 impl Solver {
@@ -356,6 +411,7 @@ impl Solver {
             num_learned: 0,
             num_db_reductions: 0,
             num_minimized_lits: 0,
+            num_budgeted_solves: 0,
         }
     }
 
@@ -484,16 +540,19 @@ impl Solver {
     }
 
     /// Propagates all pending assignments; returns a conflicting clause
-    /// index on conflict. `cancel` (when given) is polled every
-    /// [`CANCEL_POLL_MASK`]` + 1` propagated literals; on cancellation
-    /// the queue is left unfinished and [`Propagation::Cancelled`] is
-    /// returned — the caller must abandon the solve (the unpropagated
-    /// tail is picked up by the next solve's root propagation).
-    fn propagate(&mut self, cancel: Option<&AtomicBool>) -> Propagation {
+    /// index on conflict. `limits` (when given) is polled every
+    /// [`CANCEL_POLL_MASK`]` + 1` propagated literals; on a raised flag
+    /// or an exhausted budget the queue is left unfinished and
+    /// [`Propagation::Stopped`] is returned — the caller must abandon
+    /// the solve (the unpropagated tail is picked up by the next solve's
+    /// root propagation).
+    fn propagate(&mut self, limits: Option<&Limits<'_>>) -> Propagation {
         while self.qhead < self.trail.len() {
-            if let Some(flag) = cancel {
-                if self.num_propagations & CANCEL_POLL_MASK == 0 && flag.load(Ordering::Relaxed) {
-                    return Propagation::Cancelled;
+            if let Some(lim) = limits {
+                if self.num_propagations & CANCEL_POLL_MASK == 0 {
+                    if let Some(reason) = lim.check_poll(self.num_propagations) {
+                        return Propagation::Stopped(reason);
+                    }
                 }
             }
             let p = self.trail[self.qhead];
@@ -835,8 +894,13 @@ impl Solver {
     /// Each call emits one `sat.solve` trace span plus per-call deltas of
     /// the decision/propagation/conflict/restart/learning statistics.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
-        self.solve_traced(assumptions, None)
-            .expect("uncancellable solve cannot be cancelled")
+        match self.solve_traced(assumptions, None) {
+            SolveOutcome::Sat(m) => SatResult::Sat(m),
+            SolveOutcome::Unsat => SatResult::Unsat,
+            SolveOutcome::Indeterminate(r) => {
+                unreachable!("unlimited solve stopped early: {r}")
+            }
+        }
     }
 
     /// Like [`Solver::solve_with_assumptions`] but cooperatively
@@ -851,14 +915,75 @@ impl Solver {
         assumptions: &[Lit],
         cancel: &AtomicBool,
     ) -> Option<SatResult> {
-        self.solve_traced(assumptions, Some(cancel))
+        let limits = Limits {
+            conflict_target: u64::MAX,
+            prop_target: u64::MAX,
+            deadline: None,
+            cancel: Some(cancel),
+            race: None,
+        };
+        self.solve_traced(assumptions, Some(&limits))
+            .into_sat_result()
     }
 
-    fn solve_traced(
+    /// Solves under `budget`: a determined [`SolveOutcome::Sat`] /
+    /// [`SolveOutcome::Unsat`], or [`SolveOutcome::Indeterminate`] once
+    /// any limit trips. The solver stays fully usable afterwards and
+    /// keeps everything it learned — re-solving with a larger budget
+    /// resumes from accumulated knowledge.
+    ///
+    /// Conflict/propagation limits cap this call's *delta*; the deadline
+    /// is absolute (see [`Budget`]). Budget checks ride the existing
+    /// every-1024-propagations cancellation poll (plus one comparison
+    /// per conflict), so an unlimited budget costs nothing on the hot
+    /// path. An exhausted wall-clock deadline additionally emits a
+    /// watchdog stall report naming the live span stack (see
+    /// `seceda_trace::report_budget_stall`).
+    pub fn solve_budgeted(&mut self, assumptions: &[Lit], budget: &Budget) -> SolveOutcome {
+        self.solve_budgeted_raced(assumptions, budget, None)
+    }
+
+    /// [`Solver::solve_budgeted`] with an extra portfolio race flag,
+    /// polled alongside the budget's own cancel flag.
+    pub(crate) fn solve_budgeted_raced(
         &mut self,
         assumptions: &[Lit],
-        cancel: Option<&AtomicBool>,
-    ) -> Option<SatResult> {
+        budget: &Budget,
+        race: Option<&AtomicBool>,
+    ) -> SolveOutcome {
+        if !budget.is_limited() && race.is_none() {
+            return self.solve_traced(assumptions, None);
+        }
+        // Chaos-injected exhaustion: only limited budgets are eligible,
+        // so the unlimited wrappers (solve / solve_with_assumptions)
+        // keep their total contract even under chaos. Salted by the
+        // budgeted-call ordinal, which is deterministic per solver.
+        if budget.is_limited() && seceda_testkit::chaos::active() {
+            let salt = self.num_budgeted_solves;
+            self.num_budgeted_solves += 1;
+            if seceda_testkit::chaos::maybe_exhaust("sat.budget", salt) {
+                seceda_trace::counter("chaos.injections", 1);
+                seceda_trace::counter("sat.indeterminate", 1);
+                return SolveOutcome::Indeterminate(StopReason::ChaosInjected);
+            }
+        } else {
+            self.num_budgeted_solves += 1;
+        }
+        let limits = Limits {
+            conflict_target: budget
+                .max_conflicts()
+                .map_or(u64::MAX, |n| self.num_conflicts.saturating_add(n)),
+            prop_target: budget
+                .max_propagations()
+                .map_or(u64::MAX, |n| self.num_propagations.saturating_add(n)),
+            deadline: budget.deadline(),
+            cancel: budget.cancel_flag().map(Arc::as_ref),
+            race,
+        };
+        self.solve_traced(assumptions, Some(&limits))
+    }
+
+    fn solve_traced(&mut self, assumptions: &[Lit], limits: Option<&Limits<'_>>) -> SolveOutcome {
         let mut sp = seceda_trace::span("sat.solve");
         sp.attr("vars", self.num_vars());
         sp.attr("clauses", self.clauses.len());
@@ -874,7 +999,7 @@ impl Solver {
             self.num_db_reductions,
             self.num_minimized_lits,
         );
-        let result = self.solve_inner(assumptions, cancel);
+        let result = self.solve_inner(assumptions, limits);
         seceda_trace::counter("sat.decisions", self.num_decisions - d0);
         seceda_trace::counter("sat.propagations", self.num_propagations - p0);
         seceda_trace::counter("sat.conflicts", self.num_conflicts - c0);
@@ -883,19 +1008,25 @@ impl Solver {
         seceda_trace::counter("sat.db_reductions", self.num_db_reductions - db0);
         seceda_trace::counter("sat.minimized_lits", self.num_minimized_lits - m0);
         match &result {
-            None => sp.attr("result", "cancelled"),
-            Some(r) => sp.attr("result", if r.is_sat() { "sat" } else { "unsat" }),
+            SolveOutcome::Sat(_) => sp.attr("result", "sat"),
+            SolveOutcome::Unsat => sp.attr("result", "unsat"),
+            SolveOutcome::Indeterminate(reason) => {
+                seceda_trace::counter("sat.indeterminate", 1);
+                sp.attr("result", "indeterminate");
+                sp.attr("stop_reason", format!("{reason}"));
+                if *reason == StopReason::Deadline {
+                    // event-driven stall report while the sat.solve span
+                    // is still open, so armed watchdogs see the stack
+                    seceda_trace::report_budget_stall("sat.solve wall-clock deadline");
+                }
+            }
         }
         result
     }
 
-    fn solve_inner(
-        &mut self,
-        assumptions: &[Lit],
-        cancel: Option<&AtomicBool>,
-    ) -> Option<SatResult> {
+    fn solve_inner(&mut self, assumptions: &[Lit], limits: Option<&Limits<'_>>) -> SolveOutcome {
         if self.unsat {
-            return Some(SatResult::Unsat);
+            return SolveOutcome::Unsat;
         }
         for a in assumptions {
             assert!(a.var().index() < self.num_vars(), "assumption out of range");
@@ -903,27 +1034,41 @@ impl Solver {
         if self.max_learnts == 0.0 {
             self.max_learnts = (self.clauses.len() as f64 / 3.0).max(2000.0);
         }
+        if let Some(lim) = limits {
+            if let Some(reason) = lim.check_entry(self.num_conflicts, self.num_propagations) {
+                return SolveOutcome::Indeterminate(reason);
+            }
+        }
         self.backtrack(0);
         match self.propagate(None) {
             Propagation::Conflict(_) => {
                 self.unsat = true;
-                return Some(SatResult::Unsat);
+                return SolveOutcome::Unsat;
             }
-            Propagation::Quiescent | Propagation::Cancelled => {}
+            Propagation::Quiescent | Propagation::Stopped(_) => {}
         }
         let mut restart_count = 0u32;
         let mut conflicts_until_restart = self.config.restart_base * luby(restart_count);
         loop {
-            match self.propagate(cancel) {
-                Propagation::Cancelled => {
+            match self.propagate(limits) {
+                Propagation::Stopped(reason) => {
                     self.backtrack(0);
-                    return None;
+                    return SolveOutcome::Indeterminate(reason);
                 }
                 Propagation::Conflict(confl) => {
                     self.num_conflicts += 1;
                     if self.trail_lim.is_empty() {
                         self.unsat = true;
-                        return Some(SatResult::Unsat);
+                        return SolveOutcome::Unsat;
+                    }
+                    // the conflict budget is checked here — once per
+                    // conflict, off the propagation fast path; root
+                    // conflicts above still return the determined Unsat
+                    if let Some(lim) = limits {
+                        if self.num_conflicts >= lim.conflict_target {
+                            self.backtrack(0);
+                            return SolveOutcome::Indeterminate(StopReason::Conflicts);
+                        }
                     }
                     let (clause, bt, lbd) = self.analyze(confl);
                     self.backtrack(bt);
@@ -962,7 +1107,7 @@ impl Solver {
                             1 => self.trail_lim.push(self.trail.len()),
                             0 => {
                                 self.backtrack(0);
-                                return Some(SatResult::Unsat);
+                                return SolveOutcome::Unsat;
                             }
                             _ => {
                                 self.trail_lim.push(self.trail.len());
@@ -975,7 +1120,7 @@ impl Solver {
                         None => {
                             let model: Vec<bool> = self.assign.iter().map(|&v| v == 1).collect();
                             self.backtrack(0);
-                            return Some(SatResult::Sat(model));
+                            return SolveOutcome::Sat(model);
                         }
                         Some(d) => {
                             self.num_decisions += 1;
@@ -1035,8 +1180,8 @@ enum Propagation {
     Quiescent,
     /// Conflict in the given clause.
     Conflict(u32),
-    /// The cancellation flag was raised mid-propagation.
-    Cancelled,
+    /// A limit tripped mid-propagation (cancel flag, budget, deadline).
+    Stopped(StopReason),
 }
 
 /// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...).

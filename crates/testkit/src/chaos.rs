@@ -1,0 +1,367 @@
+//! A deterministic chaos / fault-injection harness.
+//!
+//! Robustness claims ("every engine degrades gracefully") are only
+//! testable if failures can be *provoked on demand, reproducibly*. This
+//! module provides seeded fault injection at named **injection points**
+//! scattered through the workspace (`"par.worker"`, `"sat.budget"`,
+//! `"parse.design"`, `"compose.threat.panic"`, ...). Each point asks
+//! [`fires`] whether to inject, passing a caller-chosen `salt` (an item
+//! index, a solve ordinal, an input length). The decision is a pure
+//! function of `(seed, point, salt)` — **never** of call order or thread
+//! schedule — so a chaos run is bit-identical across worker counts and
+//! repeat invocations.
+//!
+//! Activation, in priority order:
+//!
+//! 1. a scoped override installed by [`with_seed`], [`with_forced`] or
+//!    [`without_chaos`] (tests); scopes serialize on a global lock so
+//!    concurrent `cargo test` threads cannot observe each other's
+//!    configuration;
+//! 2. the `SECEDA_CHAOS=<seed>` environment variable (decimal or
+//!    `0x`-prefixed hex), read once on first use.
+//!
+//! When neither is present the harness is off and every check is a
+//! single relaxed atomic load — the production hot paths pay one
+//! predictable branch.
+//!
+//! Injected effects are the small set the engines must survive:
+//! panics ([`maybe_panic`]), budget exhaustion ([`maybe_exhaust`]), and
+//! truncated parser input ([`truncate_input`]). Every actual injection
+//! increments a process-wide counter ([`injections`]) that callers
+//! surface as the `chaos.injections` trace counter.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Fast-path gate: 0 = not yet initialised from the environment,
+/// 1 = off, 2 = on.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// Total number of faults actually injected since process start.
+static INJECTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Full configuration, consulted only when [`ACTIVE`] says on.
+static CONFIG: Mutex<ChaosConfig> = Mutex::new(ChaosConfig {
+    seed: None,
+    forced: None,
+});
+
+/// Serializes [`with_seed`] / [`with_forced`] / [`without_chaos`] scopes
+/// across test threads.
+static SCOPE: Mutex<()> = Mutex::new(());
+
+#[derive(Debug, Clone)]
+struct ChaosConfig {
+    /// Seed for probabilistic firing; `None` disables random injection
+    /// (a forced point may still fire).
+    seed: Option<u64>,
+    /// A point forced to always fire, optionally only at one salt.
+    forced: Option<(String, Option<u64>)>,
+}
+
+fn ignore_poison<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // chaos tests inject panics on purpose; a poisoned lock carries no
+    // broken invariant here
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Parses a `SECEDA_CHAOS` value: decimal, or hex with a `0x` prefix.
+fn parse_seed(v: &str) -> Option<u64> {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// Reads `SECEDA_CHAOS` on first use and settles [`ACTIVE`].
+fn init_from_env() -> bool {
+    let seed = std::env::var("SECEDA_CHAOS")
+        .ok()
+        .and_then(|v| parse_seed(&v));
+    let mut cfg = ignore_poison(CONFIG.lock());
+    // another thread may have initialised (or a scope may have installed
+    // itself) while we read the environment; never downgrade
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => {
+            cfg.seed = seed;
+            let state = if seed.is_some() { 2 } else { 1 };
+            ACTIVE.store(state, Ordering::Relaxed);
+            state == 2
+        }
+        state => state == 2,
+    }
+}
+
+/// Whether chaos injection is currently enabled (scoped override or
+/// `SECEDA_CHAOS` in the environment).
+#[inline]
+pub fn active() -> bool {
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => init_from_env(),
+        state => state == 2,
+    }
+}
+
+/// The seed `SECEDA_CHAOS` supplied, if chaos came from the environment
+/// (scoped overrides report their own seed while installed).
+pub fn current_seed() -> Option<u64> {
+    if !active() {
+        return None;
+    }
+    ignore_poison(CONFIG.lock()).seed
+}
+
+/// Total number of faults injected so far in this process (panics,
+/// exhaustions, truncations). Monotonic; callers mirror deltas into the
+/// `chaos.injections` trace counter.
+pub fn injections() -> u64 {
+    INJECTIONS.load(Ordering::Relaxed)
+}
+
+/// SplitMix64 — the workspace's standard seed scrambler.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the point name, so the decision stream differs per point.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The pure decision function: does injection point `point` fire at
+/// `salt` under the current configuration?
+///
+/// Roughly 1-in-8 of `(point, salt)` pairs fire under a seed; a forced
+/// point fires always (or at exactly its pinned salt). The result
+/// depends only on the configuration, the point name, and the salt —
+/// never on call order — which is what makes chaos runs deterministic
+/// across thread schedules.
+pub fn fires(point: &str, salt: u64) -> bool {
+    if !active() {
+        return false;
+    }
+    let cfg = ignore_poison(CONFIG.lock());
+    if let Some((fp, fsalt)) = &cfg.forced {
+        let salt_ok = match fsalt {
+            Some(s) => *s == salt,
+            None => true,
+        };
+        if fp == point && salt_ok {
+            return true;
+        }
+    }
+    match cfg.seed {
+        Some(seed) => {
+            let mix = splitmix64(seed ^ fnv1a(point) ^ splitmix64(salt));
+            mix & 7 == 0
+        }
+        None => false,
+    }
+}
+
+/// Records one actual injection.
+fn record() {
+    INJECTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Panics with a recognizable chaos payload if `point` fires at `salt`.
+///
+/// # Panics
+///
+/// Deliberately, when the injection fires.
+pub fn maybe_panic(point: &str, salt: u64) {
+    if fires(point, salt) {
+        record();
+        panic!("chaos: injected panic at {point}#{salt}");
+    }
+}
+
+/// Returns `true` — "pretend the budget is exhausted" — if `point`
+/// fires at `salt`.
+pub fn maybe_exhaust(point: &str, salt: u64) -> bool {
+    if fires(point, salt) {
+        record();
+        true
+    } else {
+        false
+    }
+}
+
+/// Truncates `text` at a seed-chosen char boundary if `point` fires
+/// (salted by the input length). `None` means "no injection — use the
+/// input as is".
+pub fn truncate_input(point: &str, text: &str) -> Option<String> {
+    let salt = text.len() as u64;
+    if text.is_empty() || !fires(point, salt) {
+        return None;
+    }
+    let seed = ignore_poison(CONFIG.lock()).seed.unwrap_or(0);
+    let mut cut = (splitmix64(seed ^ fnv1a(point) ^ salt) % salt) as usize;
+    while !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    record();
+    Some(text[..cut].to_string())
+}
+
+/// Restores the previous configuration when a scope ends (also on
+/// panic — chaos scopes inject panics on purpose).
+struct ScopeGuard {
+    prev_active: u8,
+    prev_cfg: ChaosConfig,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let mut cfg = ignore_poison(CONFIG.lock());
+        *cfg = self.prev_cfg.clone();
+        ACTIVE.store(self.prev_active, Ordering::Relaxed);
+    }
+}
+
+fn enter_scope(new: ChaosConfig, on: bool) -> ScopeGuard {
+    let lock = ignore_poison(SCOPE.lock());
+    // settle env state first so restoring never resurrects "uninitialised"
+    active();
+    let mut cfg = ignore_poison(CONFIG.lock());
+    let guard = ScopeGuard {
+        prev_active: ACTIVE.load(Ordering::Relaxed),
+        prev_cfg: cfg.clone(),
+        _lock: lock,
+    };
+    *cfg = new;
+    drop(cfg);
+    ACTIVE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    guard
+}
+
+/// Runs `f` with chaos enabled under `seed`, restoring the previous
+/// configuration afterwards. Scopes serialize process-wide.
+pub fn with_seed<R>(seed: u64, f: impl FnOnce() -> R) -> R {
+    let _guard = enter_scope(
+        ChaosConfig {
+            seed: Some(seed),
+            forced: None,
+        },
+        true,
+    );
+    f()
+}
+
+/// Runs `f` with exactly one injection point forced to fire — at every
+/// salt, or only at `salt` when given — and no random injection.
+/// Restores the previous configuration afterwards.
+pub fn with_forced<R>(point: &str, salt: Option<u64>, f: impl FnOnce() -> R) -> R {
+    let _guard = enter_scope(
+        ChaosConfig {
+            seed: None,
+            forced: Some((point.to_string(), salt)),
+        },
+        true,
+    );
+    f()
+}
+
+/// Runs `f` with chaos disabled, even if `SECEDA_CHAOS` is set. Chaos
+/// tests use this for their straight-through reference runs.
+pub fn without_chaos<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = enter_scope(
+        ChaosConfig {
+            seed: None,
+            forced: None,
+        },
+        false,
+    );
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_by_default_when_env_unset() {
+        // the test environment must not set SECEDA_CHAOS; under an
+        // explicit scope the harness switches on and back off
+        without_chaos(|| {
+            assert!(!active());
+            assert!(!fires("any.point", 0));
+            assert!(truncate_input("any.point", "abcdef").is_none());
+        });
+    }
+
+    #[test]
+    fn decisions_are_pure_in_point_and_salt() {
+        with_seed(0xDEAD_BEEF, || {
+            let a: Vec<bool> = (0..256).map(|s| fires("par.worker", s)).collect();
+            let b: Vec<bool> = (0..256).map(|s| fires("par.worker", s)).collect();
+            assert_eq!(a, b, "same (seed, point, salt) must agree across calls");
+            let hits = a.iter().filter(|&&x| x).count();
+            // ~1/8 rate: loose band, but never all-or-nothing
+            assert!(hits > 8 && hits < 96, "hit rate off: {hits}/256");
+            let other: Vec<bool> = (0..256).map(|s| fires("sat.budget", s)).collect();
+            assert_ne!(a, other, "different points must see different streams");
+        });
+    }
+
+    #[test]
+    fn forced_point_fires_only_at_pinned_salt() {
+        with_forced("compose.threat.panic", Some(2), || {
+            assert!(fires("compose.threat.panic", 2));
+            assert!(!fires("compose.threat.panic", 1));
+            assert!(!fires("other.point", 2));
+        });
+        with_forced("compose.threat.panic", None, || {
+            assert!(fires("compose.threat.panic", 0));
+            assert!(fires("compose.threat.panic", 77));
+        });
+    }
+
+    #[test]
+    fn maybe_panic_payload_is_recognizable() {
+        let before = injections();
+        let caught = std::panic::catch_unwind(|| {
+            with_forced("unit.panic", None, || maybe_panic("unit.panic", 5));
+        })
+        .expect_err("forced point must panic");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("chaos: injected panic at unit.panic#5"),
+            "{msg}"
+        );
+        assert!(injections() > before);
+    }
+
+    #[test]
+    fn truncation_is_deterministic_and_shorter() {
+        with_forced("parse.design", None, || {
+            let text = "INPUT(a)\nINPUT(b)\nOUTPUT(c)\nc = AND(a, b)\n";
+            let t1 = truncate_input("parse.design", text).expect("forced fire");
+            let t2 = truncate_input("parse.design", text).expect("forced fire");
+            assert_eq!(t1, t2);
+            assert!(t1.len() < text.len());
+            assert!(text.starts_with(&t1));
+        });
+    }
+
+    #[test]
+    fn scopes_restore_on_panic() {
+        let _ = std::panic::catch_unwind(|| {
+            with_seed(1, || panic!("boom"));
+        });
+        without_chaos(|| assert!(!active()));
+    }
+}

@@ -29,6 +29,10 @@
 //!   `rayon` for the embarrassingly parallel hot loops: fault lists,
 //!   CPA key guesses, packed simulation rounds) with order-preserving,
 //!   thread-count-independent results.
+//! * [`chaos`] — a seeded, deterministic fault injector
+//!   (`SECEDA_CHAOS=<seed>`) that provokes panics, budget exhaustion,
+//!   and truncated parser input at named injection points, so the
+//!   graceful-degradation paths are themselves under test.
 //!
 //! Test files migrated from `proptest` only change one import:
 //!
@@ -49,6 +53,7 @@
 #![allow(clippy::test_attr_in_doctest)]
 
 pub mod bench;
+pub mod chaos;
 pub mod json;
 pub mod par;
 pub mod prop;

@@ -22,7 +22,9 @@
 //! by determinism tests), else the `SECEDA_THREADS` environment
 //! variable, else [`std::thread::available_parallelism`].
 
+use crate::chaos;
 use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 thread_local! {
@@ -102,6 +104,27 @@ where
     T: Sync,
     R: Send,
 {
+    par_map_init_impl(items, init, |state, i, item| {
+        // the "par.worker" chaos point sits inside the per-item closure
+        // so it fires identically on the serial shortcut and on every
+        // worker count (the decision is salted by the item index)
+        if chaos::active() {
+            chaos::maybe_panic("par.worker", i as u64);
+        }
+        f(state, i, item)
+    })
+}
+
+/// The scheduler behind [`par_map_init`], free of injection points.
+fn par_map_init_impl<T, R, S>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
     let len = items.len();
     let workers = workers_for(len);
     if workers <= 1 || len <= 1 {
@@ -154,6 +177,76 @@ where
     out.into_iter()
         .map(|r| r.expect("par worker skipped an item"))
         .collect()
+}
+
+/// What a worker's panic looked like, recovered per item by
+/// [`par_map_catch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload rendered to text (`&str` / `String` payloads;
+    /// anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked on item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Renders a caught panic payload to text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`par_map`], but a panic in `f` is contained to its own item:
+/// `out[i]` is `Err(WorkerPanic)` for the items whose closure panicked
+/// while every other item still completes. This is the degradation
+/// primitive — [`par_map`] kills the whole computation on the first
+/// panic ([`std::panic::resume_unwind`] after all workers stop), which
+/// is exactly wrong for "evaluate every threat, report what failed".
+///
+/// The `"par.worker"` chaos injection point fires *inside* the per-item
+/// catch, so chaos-injected worker panics are contained here but fatal
+/// in [`par_map`] — both behaviors are pinned by tests.
+pub fn par_map_catch<T, R>(
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Sync,
+    R: Send,
+{
+    par_map_init_impl(
+        items,
+        || (),
+        |(), i, item| {
+            catch_unwind(AssertUnwindSafe(|| {
+                if chaos::active() {
+                    chaos::maybe_panic("par.worker", i as u64);
+                }
+                f(i, item)
+            }))
+            .map_err(|payload| WorkerPanic {
+                index: i,
+                message: panic_message(payload.as_ref()),
+            })
+        },
+    )
 }
 
 /// Parallel map with exclusive mutable access to each item:
@@ -272,5 +365,69 @@ mod tests {
         with_workers(3, || assert_eq!(max_workers(), 3));
         // after the closure the ambient default is back (no 0-sized pin)
         assert!(max_workers() >= 1);
+    }
+
+    #[test]
+    fn par_map_still_propagates_panics() {
+        // pins the pre-existing contract: the non-catching variants kill
+        // the whole computation on the first worker panic
+        for workers in [1, 4] {
+            let items: Vec<u32> = (0..64).collect();
+            let result = std::panic::catch_unwind(|| {
+                with_workers(workers, || {
+                    par_map(&items, |_, &x| {
+                        assert!(x != 13, "poisoned item");
+                        x
+                    })
+                })
+            });
+            assert!(result.is_err(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_catch_contains_panics_per_item() {
+        let items: Vec<u32> = (0..64).collect();
+        for workers in [1, 2, 8] {
+            let out = with_workers(workers, || {
+                par_map_catch(&items, |_, &x| {
+                    assert!(x % 10 != 3, "poisoned item {x}");
+                    x * 2
+                })
+            });
+            assert_eq!(out.len(), 64, "workers = {workers}");
+            for (i, r) in out.iter().enumerate() {
+                if i % 10 == 3 {
+                    let p = r.as_ref().expect_err("poisoned item must fail");
+                    assert_eq!(p.index, i);
+                    assert!(p.message.contains("poisoned item"), "{}", p.message);
+                } else {
+                    assert_eq!(*r.as_ref().expect("healthy item"), (i as u32) * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_par_worker_panics_contained_and_deterministic() {
+        use crate::chaos;
+        let items: Vec<u32> = (0..96).collect();
+        let expected: Vec<bool> = chaos::with_seed(0xFEED, || {
+            (0..96).map(|i| chaos::fires("par.worker", i)).collect()
+        });
+        assert!(expected.iter().any(|&b| b), "seed must poison something");
+        assert!(!expected.iter().all(|&b| b), "seed must not poison all");
+        for workers in [1, 2, 8] {
+            let out = chaos::with_seed(0xFEED, || {
+                with_workers(workers, || par_map_catch(&items, |_, &x| x + 1))
+            });
+            let got: Vec<bool> = out.iter().map(Result::is_err).collect();
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+        // the same seed makes the plain variant fail outright
+        let fatal = std::panic::catch_unwind(|| {
+            chaos::with_seed(0xFEED, || par_map(&items, |_, &x| x + 1))
+        });
+        assert!(fatal.is_err());
     }
 }

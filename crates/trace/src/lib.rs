@@ -73,4 +73,4 @@ pub use recorder::{
 };
 pub use render::{fmt_duration, Summary};
 pub use span::{span, Span};
-pub use watchdog::{StallSink, Watchdog, WatchdogConfig};
+pub use watchdog::{report_budget_stall, StallSink, Watchdog, WatchdogConfig};

@@ -25,10 +25,77 @@
 use crate::recorder;
 use crate::render::fmt_duration;
 use std::io::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Registry of armed watchdogs, so synchronous stall reports (budget
+/// exhaustion inside an engine) can reach every live sink without the
+/// reporter owning a [`Watchdog`] handle.
+static ARMED: Mutex<Vec<ArmedEntry>> = Mutex::new(Vec::new());
+/// Fast gate mirroring `ARMED.len()`: lets [`report_budget_stall`] be a
+/// single relaxed load when no watchdog is armed.
+static ARMED_COUNT: AtomicUsize = AtomicUsize::new(0);
+/// Monotonic id source for registry entries.
+static NEXT_WATCHDOG_ID: AtomicU64 = AtomicU64::new(1);
+
+struct ArmedEntry {
+    id: u64,
+    sink: StallSink,
+    stall_reports: Arc<AtomicU64>,
+}
+
+/// Delivers a synchronous "budget exhausted" stall report — naming the
+/// live span stack and progress gauges, like a timeout-detected stall —
+/// to every armed watchdog. Unlike the watchdog thread's own reports
+/// this is *event-driven*: an engine that hits its wall-clock deadline
+/// calls this at the moment it gives up, so the report captures the
+/// spans that were actually open inside the budgeted region.
+///
+/// Returns the number of watchdogs the report reached (0 when none are
+/// armed — the call is then one relaxed atomic load).
+pub fn report_budget_stall(context: &str) -> usize {
+    if ARMED_COUNT.load(Ordering::Relaxed) == 0 {
+        return 0;
+    }
+    let body = stall_report_body(&format!(
+        "seceda-trace watchdog: BUDGET EXHAUSTED in {context} — live span stack:"
+    ));
+    let armed = match ARMED.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    for entry in armed.iter() {
+        entry.stall_reports.fetch_add(1, Ordering::Relaxed);
+        write_to_sink(&entry.sink, &body);
+    }
+    armed.len()
+}
+
+fn register_armed(sink: &StallSink, stall_reports: &Arc<AtomicU64>) -> u64 {
+    let id = NEXT_WATCHDOG_ID.fetch_add(1, Ordering::Relaxed);
+    let mut armed = match ARMED.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    armed.push(ArmedEntry {
+        id,
+        sink: sink.clone(),
+        stall_reports: Arc::clone(stall_reports),
+    });
+    ARMED_COUNT.store(armed.len(), Ordering::Relaxed);
+    id
+}
+
+fn deregister_armed(id: u64) {
+    let mut armed = match ARMED.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    armed.retain(|e| e.id != id);
+    ARMED_COUNT.store(armed.len(), Ordering::Relaxed);
+}
 
 /// Where stall reports are written.
 #[derive(Debug, Clone, Default)]
@@ -81,6 +148,7 @@ pub struct Watchdog {
     stalled: Arc<AtomicBool>,
     stall_reports: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
+    registry_id: u64,
 }
 
 impl Watchdog {
@@ -95,6 +163,7 @@ impl Watchdog {
         let stop = Arc::new(AtomicBool::new(false));
         let stalled = Arc::new(AtomicBool::new(false));
         let stall_reports = Arc::new(AtomicU64::new(0));
+        let registry_id = register_armed(&config.sink, &stall_reports);
         let handle = {
             let stop = Arc::clone(&stop);
             let stalled = Arc::clone(&stalled);
@@ -109,6 +178,7 @@ impl Watchdog {
             stalled,
             stall_reports,
             handle: Some(handle),
+            registry_id,
         }
     }
 
@@ -143,6 +213,7 @@ impl Watchdog {
 
 impl Drop for Watchdog {
     fn drop(&mut self) {
+        deregister_armed(self.registry_id);
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {
             handle.thread().unpark();
@@ -188,11 +259,19 @@ fn watch_loop(
 /// the configured sink in one locked write so concurrent output cannot
 /// interleave.
 fn report_stall(still_for: Duration, sink: &StallSink) {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "seceda-trace watchdog: NO PROGRESS for {} — live span stack:\n",
+    let body = stall_report_body(&format!(
+        "seceda-trace watchdog: NO PROGRESS for {} — live span stack:",
         fmt_duration(still_for.as_nanos() as u64)
     ));
+    write_to_sink(sink, &body);
+}
+
+/// Renders the common stall-report body under `header`: live span stack
+/// plus the latest progress gauges.
+fn stall_report_body(header: &str) -> String {
+    let mut out = String::new();
+    out.push_str(header);
+    out.push('\n');
     let live = recorder::live_spans();
     if live.is_empty() {
         out.push_str("  (no spans open — enable SECEDA_TRACE=1 for span-level dumps)\n");
@@ -216,6 +295,11 @@ fn report_stall(still_for: Duration, sink: &StallSink) {
             out.push_str(&format!("    {name} = {value}\n"));
         }
     }
+    out
+}
+
+/// One locked write per report so concurrent output cannot interleave.
+fn write_to_sink(sink: &StallSink, out: &str) {
     match sink {
         StallSink::Stderr => {
             let stderr = std::io::stderr();
@@ -224,7 +308,7 @@ fn report_stall(still_for: Duration, sink: &StallSink) {
         }
         StallSink::Buffer(buf) => {
             if let Ok(mut buf) = buf.lock() {
-                buf.push_str(&out);
+                buf.push_str(out);
             }
         }
     }

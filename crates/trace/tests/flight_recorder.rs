@@ -338,6 +338,41 @@ fn watchdog_fires_on_stall_then_clears_on_progress() {
 }
 
 #[test]
+fn budget_stall_reports_reach_armed_watchdogs() {
+    let reports = Arc::new(Mutex::new(String::new()));
+    let ((), _events) = session(|| {
+        // with no watchdog armed the call is a no-op (the session lock
+        // keeps other tests' watchdogs out of the registry here)
+        assert_eq!(seceda_trace::report_budget_stall("sat.solve"), 0);
+        let _sp = span("budgeted.engine");
+        let wd = Watchdog::start_with(WatchdogConfig {
+            // huge timeout: the watchdog thread itself must never fire —
+            // only the synchronous budget report reaches the sink
+            timeout: Duration::from_secs(3600),
+            poll: Duration::from_millis(10),
+            abort_on_stall: false,
+            sink: StallSink::Buffer(Arc::clone(&reports)),
+        });
+        progress("wd.budget_phase", 3);
+        let reached = seceda_trace::report_budget_stall("sat.solve wall-clock deadline");
+        assert_eq!(reached, 1, "one armed watchdog must receive the report");
+        assert_eq!(wd.stall_reports(), 1);
+        assert!(!wd.stalled(), "a budget report is not a silent hang");
+        wd.stop();
+        // disarmed again: back to no-op
+        assert_eq!(seceda_trace::report_budget_stall("sat.solve"), 0);
+    });
+    let reports = reports.lock().unwrap();
+    assert!(reports.contains("BUDGET EXHAUSTED"), "{reports}");
+    assert!(
+        reports.contains("sat.solve wall-clock deadline"),
+        "{reports}"
+    );
+    assert!(reports.contains("budgeted.engine"), "{reports}");
+    assert!(reports.contains("wd.budget_phase = 3"), "{reports}");
+}
+
+#[test]
 fn watchdog_dump_lists_live_spans() {
     let reports = Arc::new(Mutex::new(String::new()));
     let ((), _events) = session(|| {

@@ -15,7 +15,9 @@
 
 use seceda_fia::codes::ProtectedNetlist;
 use seceda_netlist::NetlistError;
-use seceda_sat::{encode_faulty_cone, encode_netlist, CnfBuilder, GatedCnf, SatResult, Solver};
+use seceda_sat::{
+    encode_faulty_cone, encode_netlist, Budget, CnfBuilder, GatedCnf, SolveOutcome, Solver,
+};
 use seceda_sim::{fault::stuck_at_universe, Fault, FaultKind};
 
 /// Result of the formal detection proof.
@@ -25,14 +27,20 @@ pub struct DetectionProof {
     pub proven: usize,
     /// Faults with a silent-corruption witness: `(fault, inputs)`.
     pub violations: Vec<(Fault, Vec<bool>)>,
+    /// Faults whose proof query exhausted its budget before deciding
+    /// (always empty for [`prove_detection`]). An undecided fault is a
+    /// hole in the proof, so [`DetectionProof::holds`] is `false` while
+    /// any remain.
+    pub undecided: Vec<Fault>,
     /// Faults analyzed in total.
     pub total: usize,
 }
 
 impl DetectionProof {
-    /// `true` when the detection property holds for every fault.
+    /// `true` when the detection property is *proven* for every fault —
+    /// no violation witnesses and no budget-starved undecided queries.
     pub fn holds(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.undecided.is_empty()
     }
 }
 
@@ -51,6 +59,28 @@ impl DetectionProof {
 ///
 /// Panics if the design has no alarm output.
 pub fn prove_detection(protected: &ProtectedNetlist) -> Result<DetectionProof, NetlistError> {
+    prove_detection_budgeted(protected, &Budget::unlimited())
+}
+
+/// Budgeted [`prove_detection`]: the conflict cap meters the whole proof
+/// loop (each per-fault query gets whatever the previous queries left),
+/// the deadline bounds its wall clock. A query whose budget runs out
+/// degrades *that fault* to [`DetectionProof::undecided`] — the loop
+/// keeps going, so one pathological fault cannot wedge the whole proof,
+/// but the final proof honestly reports its holes via
+/// [`DetectionProof::holds`].
+///
+/// # Errors
+///
+/// Propagates encoding errors.
+///
+/// # Panics
+///
+/// Panics if the design has no alarm output.
+pub fn prove_detection_budgeted(
+    protected: &ProtectedNetlist,
+    budget: &Budget,
+) -> Result<DetectionProof, NetlistError> {
     let alarm_index = protected
         .alarm_index
         .expect("detection proof needs an alarm output");
@@ -65,6 +95,7 @@ pub fn prove_detection(protected: &ProtectedNetlist) -> Result<DetectionProof, N
     solver.add_clause([f0.neg()]);
     let mut proven = 0usize;
     let mut violations = Vec::new();
+    let mut undecided = Vec::new();
     for &fault in &faults {
         let faulty_source = match fault.kind {
             FaultKind::StuckAt0 => f0.pos(),
@@ -103,19 +134,26 @@ pub fn prove_detection(protected: &ProtectedNetlist) -> Result<DetectionProof, N
             diffs.push(d);
         }
         gated.add_clause(diffs);
-        // ... while the alarm stays low
-        match solver.solve_with_assumptions(&[sel.pos(), !alarm_lit]) {
-            SatResult::Unsat => proven += 1,
-            SatResult::Sat(model) => {
+        // ... while the alarm stays low; the remaining budget is
+        // whatever earlier queries did not spend
+        let sub = budget.minus(solver.num_conflicts, solver.num_propagations);
+        match solver.solve_budgeted(&[sel.pos(), !alarm_lit], &sub) {
+            SolveOutcome::Unsat => proven += 1,
+            SolveOutcome::Sat(model) => {
                 let witness = good.input_vars.iter().map(|v| model[v.index()]).collect();
                 violations.push((fault, witness));
             }
+            SolveOutcome::Indeterminate(_) => undecided.push(fault),
         }
         solver.add_clause([guard]);
+    }
+    if !undecided.is_empty() {
+        seceda_trace::counter("verif.undecided_faults", undecided.len() as u64);
     }
     Ok(DetectionProof {
         proven,
         violations,
+        undecided,
         total: faults.len(),
     })
 }
@@ -137,6 +175,29 @@ mod tests {
             proof.violations
         );
         assert_eq!(proof.proven, proof.total);
+    }
+
+    #[test]
+    fn starved_proof_reports_undecided_holes_instead_of_wedging() {
+        let p = duplicate_with_compare(&majority());
+        let starved = Budget::unlimited().with_max_propagations(0);
+        let proof = prove_detection_budgeted(&p, &starved).expect("prove");
+        assert!(
+            !proof.undecided.is_empty(),
+            "a zero-propagation budget must leave queries undecided"
+        );
+        assert!(!proof.holds(), "undecided faults are holes in the proof");
+        assert!(proof.violations.is_empty(), "no false violations");
+        // structurally-proven faults need no solver call and still count
+        assert_eq!(
+            proof.proven + proof.undecided.len(),
+            proof.total,
+            "every fault is either proven structurally or undecided"
+        );
+        // the same proof with an unlimited budget has no holes
+        let full = prove_detection_budgeted(&p, &Budget::unlimited()).expect("prove");
+        assert!(full.holds());
+        assert!(full.undecided.is_empty());
     }
 
     #[test]

@@ -11,7 +11,14 @@ use seceda_sim::fault::stuck_at_universe;
 use seceda_sim::{signal_probabilities, FaultSim};
 use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let nl = match std::env::args().nth(1) {
         Some(path) => parse_design_path(&path)?,
         None => c17(),

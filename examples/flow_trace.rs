@@ -21,8 +21,9 @@
 use seceda_core::{
     run_classical_flow, run_secure_flow, CompositionEngine, DesignUnderTest, SecurityEvaluation,
 };
-use seceda_lock::{sat_attack, xor_lock};
+use seceda_lock::{sat_attack, sat_attack_budgeted, xor_lock, SatAttackOutcome};
 use seceda_netlist::{c17, parse_design, write_bench, DesignFormat, Netlist, Word};
+use seceda_sat::Budget;
 use seceda_sim::{fault::stuck_at_universe, FaultSim};
 use seceda_testkit::bench::target_dir;
 use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
@@ -97,7 +98,55 @@ fn trace_engine_histograms(sbox: &Netlist) -> Result<Vec<Event>, Box<dyn std::er
     Ok(drain())
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Exercises the robustness paths so the session also carries the
+/// degradation counters: a budget-starved SAT attack that suspends and
+/// resumes (`sat.indeterminate`, `lock.attack_suspended`), and a
+/// chaos-scoped threat evaluation (`chaos.injections`,
+/// `compose.threats_degraded`).
+fn trace_degradation_counters() -> Result<Vec<Event>, Box<dyn std::error::Error>> {
+    drain();
+
+    // budgeted attack: a one-conflict budget suspends almost
+    // immediately; the checkpoint then resumes to completion unbudgeted
+    let original = c17();
+    let locked = xor_lock(&original, 8, 7);
+    let oracle = |x: &[bool]| original.evaluate(x);
+    let starved = Budget::unlimited().with_max_conflicts(1);
+    let outcome = sat_attack_budgeted(&locked, oracle, &starved, None)?;
+    if let SatAttackOutcome::Suspended { checkpoint, .. } = outcome {
+        let resumed =
+            sat_attack_budgeted(&locked, oracle, &Budget::unlimited(), Some(&checkpoint))?;
+        assert!(matches!(resumed, SatAttackOutcome::Complete(_)));
+    }
+
+    // chaos-scoped evaluation: force one threat evaluator to panic; the
+    // engine completes and degrades exactly that metric. The injected
+    // panic is caught and converted to a degraded metric, so silence
+    // the default hook's backtrace for the duration.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    seceda_testkit::chaos::with_forced("compose.threat.panic", Some(1), || {
+        let mut engine =
+            CompositionEngine::new(DesignUnderTest::new(c17()), SecurityEvaluation::default());
+        let report = engine
+            .evaluate("flow-trace chaos")
+            .expect("evaluation completes under chaos")
+            .clone();
+        assert_eq!(report.degraded().len(), 1);
+    });
+    std::panic::set_hook(hook);
+
+    Ok(drain())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     set_enabled(true);
 
     // 1. c17 — small enough to print the span tree in full depth.
@@ -142,11 +191,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 4. The whole session as JSON-lines for the seceda_obs CLI
+    // 4. Degradation counters: a suspended-and-resumed budgeted attack
+    //    and one forced-chaos evaluation, so `seceda_obs top` also shows
+    //    the robustness counters.
+    let degradation_events = trace_degradation_counters()?;
+    let degradation_summary = Summary::of(&degradation_events);
+    println!("\n=== degradation counters (budgeted attack + forced chaos) ===");
+    for counter in [
+        "sat.indeterminate",
+        "lock.attack_suspended",
+        "chaos.injections",
+        "compose.threats_degraded",
+    ] {
+        let total = degradation_summary
+            .counters
+            .get(counter)
+            .copied()
+            .unwrap_or(0);
+        assert!(total > 0, "{counter}: no increments recorded");
+        println!("{counter:<26} total={total}");
+    }
+
+    // 5. The whole session as JSON-lines for the seceda_obs CLI
     //    (export to Perfetto, hot-span top-N, session diffing).
     let mut all_events = c17_events;
     all_events.extend(sbox_events);
     all_events.extend(engine_events);
+    all_events.extend(degradation_events);
     let jsonl_path = target_dir().join("flow_trace.jsonl");
     std::fs::write(&jsonl_path, to_json_lines(&all_events))?;
     println!(

@@ -14,7 +14,14 @@ use seceda_sca::{
 };
 use seceda_synth::{reassociate, SynthesisMode};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     // the target: c = a AND b on secret a, b
     let mut nl = Netlist::new("and");
     let a = nl.add_input("a");

@@ -9,7 +9,14 @@ use seceda_core::{run_classical_flow, run_secure_flow};
 use seceda_netlist::{CellKind, Netlist};
 use seceda_sca::mask_netlist;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A tiny sensitive datapath: one AND of two secret bits.
     let mut design = Netlist::new("and_gadget");
     let a = design.add_input("a");

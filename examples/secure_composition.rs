@@ -31,7 +31,14 @@ fn print_outcome(tag: &str, outcome: &seceda_core::EvaluationOutcome) {
     }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let (nl, builtin) = match std::env::args().nth(1) {
         Some(path) => {
             let parsed = parse_design_path(&path)?;

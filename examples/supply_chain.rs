@@ -21,7 +21,14 @@ use seceda_trojan::{
     generate_mero_tests, insert_trojan, trigger_coverage, MeroConfig, TrojanConfig,
 };
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== 1. logic locking vs the SAT attack ===");
     let nl = match std::env::args().nth(1) {
         Some(path) => {

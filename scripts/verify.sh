@@ -22,6 +22,13 @@ cargo build --benches --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+# The chaos suite runs once per pinned seed with the harness
+# ambient-armed: every injection decision is a pure function of
+# (seed, point, salt), so both runs are reproducible bit for bit.
+echo "==> chaos suite under two pinned ambient seeds"
+SECEDA_CHAOS=0xDEADBEEF cargo test -q --offline -p seceda-core --test chaos
+SECEDA_CHAOS=51966 cargo test -q --offline -p seceda-core --test chaos
+
 echo "==> flow-trace example smoke run (release)"
 SECEDA_TRACE=1 cargo run --release --offline --example flow-trace > /dev/null
 
