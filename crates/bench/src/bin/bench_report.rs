@@ -30,10 +30,11 @@ use seceda_testkit::json::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const BENCH_FILES: [&str; 3] = [
+const BENCH_FILES: [&str; 4] = [
     "BENCH_fault_sim.json",
     "BENCH_sat_attack.json",
     "BENCH_parse.json",
+    "BENCH_compose.json",
 ];
 
 fn default_baseline_path() -> PathBuf {

@@ -10,6 +10,7 @@
 //! * `fault_sim` → `packed_ns`
 //! * `sat_attack` → `incremental_ns`
 //! * `parse` → `parse_ns` and `topo_ns`
+//! * `compose` → `incremental_ns`
 //!
 //! Timings are machine-dependent, so the gate is *advisory* by default
 //! (`scripts/verify.sh` prints the delta table and carries on);
@@ -26,6 +27,7 @@ pub fn primary_metrics(bench: &str) -> &'static [&'static str] {
         "fault_sim" => &["packed_ns"],
         "sat_attack" => &["incremental_ns"],
         "parse" => &["parse_ns", "topo_ns"],
+        "compose" => &["incremental_ns"],
         _ => &[],
     }
 }

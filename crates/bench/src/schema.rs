@@ -89,6 +89,18 @@ pub fn result_schema(bench: &str) -> Option<&'static [(&'static str, FieldKind)]
             ("gates_per_sec", Num),
             ("roundtrip_exact", Bool),
         ]),
+        "compose" => Some(&[
+            ("case", Str),
+            ("gates", Int),
+            ("sessions", Int),
+            ("countermeasures", Int),
+            ("evaluations", Int),
+            ("full_ns", Int),
+            ("incremental_ns", Int),
+            ("speedup", Num),
+            ("cache_hit_rate", Num),
+            ("reports_match", Bool),
+        ]),
         _ => None,
     }
 }
@@ -257,6 +269,7 @@ mod tests {
             "BENCH_fault_sim.json",
             "BENCH_sat_attack.json",
             "BENCH_parse.json",
+            "BENCH_compose.json",
         ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../..")

@@ -13,19 +13,21 @@
 //! parity predictor recombines the shares. Duplication-with-compare,
 //! which compares share-wise, composes cleanly.
 
-use crate::metrics::{MetricValue, SecurityMetric, SecurityReport};
+use crate::cache::{CacheKey, EvalCache};
+use crate::metrics::{MetricProvenance, MetricSource, MetricValue, SecurityMetric, SecurityReport};
 use crate::threat::ThreatVector;
 use seceda_fia::{
     analyze_faults, duplicate_with_compare, parity_protect, FaultCampaign, InjectionModel,
     ProtectedNetlist,
 };
 use seceda_lock::xor_lock;
-use seceda_netlist::{Netlist, NetlistError};
+use seceda_netlist::{DigestBuilder, Netlist, NetlistError, StructuralHash};
 use seceda_sca::{first_order_leaks, mask_netlist, ProbingModel};
 use seceda_sim::signal_probabilities;
 use seceda_testkit::chaos;
 use seceda_testkit::par::par_map_catch;
 use seceda_trojan::insert_rare_event_monitor;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A design plus the interface semantics the evaluations need.
@@ -121,6 +123,10 @@ pub struct EvaluationOutcome {
     /// Names of metrics that regressed pass → fail in this step — the
     /// cross-effects the paper warns about.
     pub regressions: Vec<String>,
+    /// Gates whose structural fingerprint changed in this step — the
+    /// dirty cone that forced re-evaluation. `None` when the engine runs
+    /// without a cache (no hash is maintained then).
+    pub dirty_gates: Option<usize>,
 }
 
 /// The composition engine.
@@ -130,6 +136,8 @@ pub struct CompositionEngine {
     eval: SecurityEvaluation,
     history: Vec<SecurityReport>,
     applied: Vec<Countermeasure>,
+    cache: Option<Arc<EvalCache>>,
+    hash: Option<StructuralHash>,
 }
 
 impl CompositionEngine {
@@ -140,7 +148,37 @@ impl CompositionEngine {
             eval,
             history: Vec::new(),
             applied: Vec::new(),
+            cache: None,
+            hash: None,
         }
+    }
+
+    /// Creates an engine whose threat evaluations are served through a
+    /// shared [`EvalCache`].
+    ///
+    /// Every cache key binds a structural digest of *exactly* what the
+    /// corresponding evaluator reads (design fingerprint, interface
+    /// state, thresholds, seeds), so a cache hit is bit-identical to a
+    /// recompute — the differential suite in
+    /// `tests/incremental_compose.rs` holds the engine to that contract.
+    pub fn with_cache(
+        dut: DesignUnderTest,
+        eval: SecurityEvaluation,
+        cache: Arc<EvalCache>,
+    ) -> Self {
+        CompositionEngine {
+            dut,
+            eval,
+            history: Vec::new(),
+            applied: Vec::new(),
+            cache: Some(cache),
+            hash: None,
+        }
+    }
+
+    /// The shared evaluation cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&Arc<EvalCache>> {
+        self.cache.as_ref()
     }
 
     /// The current design state.
@@ -173,9 +211,13 @@ impl CompositionEngine {
     ///
     /// Propagates simulator errors.
     pub fn evaluate(&mut self, label: &str) -> Result<&SecurityReport, NetlistError> {
+        let _reeval_t = seceda_trace::hist_timer("compose.reeval_ns");
         let mut eval_span = seceda_trace::span("compose.evaluate")
             .with("label", label)
             .with("gates", self.dut.netlist.num_gates());
+        if self.cache.is_some() && self.hash.is_none() {
+            self.hash = Some(StructuralHash::of(&self.dut.netlist)?);
+        }
         let threats: [(&str, ThreatVector, &str); 4] = [
             (
                 "side-channel",
@@ -195,54 +237,90 @@ impl CompositionEngine {
         let slice_deadline = self.eval.threat_budget.map(|d| Instant::now() + d);
         let dut = &self.dut;
         let eval = &self.eval;
+        let cache = self.cache.as_deref();
+        let hash = self.hash.as_ref();
         let results = par_map_catch(&threats, |i, &(tag, threat, name)| {
             let _threat_t = seceda_trace::hist_timer("compose.threat_ns");
             let _sp = seceda_trace::span("compose.threat").with("threat", tag);
+            // chaos and slice checks run *before* the cache lookup so a
+            // cached closure degrades on exactly the same steps as a
+            // full recompute — and degraded metrics are never cached
             if chaos::active() {
                 chaos::maybe_panic("compose.threat.panic", i as u64);
                 if chaos::maybe_exhaust("compose.threat.exhaust", i as u64) {
                     seceda_trace::counter("chaos.injections", 1);
-                    return Ok(SecurityMetric::unavailable(
-                        name,
-                        threat,
-                        "chaos-injected budget exhaustion",
+                    return Ok((
+                        SecurityMetric::unavailable(
+                            name,
+                            threat,
+                            "chaos-injected budget exhaustion",
+                        ),
+                        false,
                     ));
                 }
             }
             if let Some(at) = slice_deadline {
                 if Instant::now() >= at {
-                    return Ok(SecurityMetric::unavailable(
-                        name,
-                        threat,
-                        "threat budget slice exhausted before evaluation started",
+                    return Ok((
+                        SecurityMetric::unavailable(
+                            name,
+                            threat,
+                            "threat budget slice exhausted before evaluation started",
+                        ),
+                        false,
                     ));
                 }
             }
-            let metric = match i {
-                0 => eval_side_channel(dut, eval),
-                1 => eval_fault_injection(dut, eval)?,
-                2 => eval_piracy(dut, eval),
-                3 => eval_trojan(dut, eval)?,
-                _ => unreachable!("four threat vectors"),
+            let compute = || -> Result<SecurityMetric, NetlistError> {
+                Ok(match i {
+                    0 => eval_side_channel(dut, eval),
+                    1 => eval_fault_injection(dut, eval)?,
+                    2 => eval_piracy(dut, eval),
+                    3 => eval_trojan(dut, eval)?,
+                    _ => unreachable!("four threat vectors"),
+                })
+            };
+            let (metric, hit) = match (cache, hash) {
+                (Some(c), Some(h)) => {
+                    c.get_or_compute(threat_cache_key(threat, dut, eval, h), compute)?
+                }
+                _ => (compute()?, false),
             };
             if let Some(at) = slice_deadline {
                 if Instant::now() >= at {
-                    return Ok(SecurityMetric::unavailable(
-                        name,
-                        threat,
-                        "threat budget slice exhausted",
+                    return Ok((
+                        SecurityMetric::unavailable(name, threat, "threat budget slice exhausted"),
+                        false,
                     ));
                 }
             }
-            Ok(metric)
+            Ok((metric, hit))
         });
+        let caching = self.cache.is_some();
         let mut report = SecurityReport::new(label);
         let mut degraded = 0u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
         for (res, &(_, threat, name)) in results.into_iter().zip(&threats) {
             match res {
-                Ok(Ok(metric)) => {
+                Ok(Ok((metric, hit))) => {
                     if !metric.value.is_available() {
                         degraded += 1;
+                    }
+                    if caching {
+                        if hit {
+                            hits += 1;
+                        } else {
+                            misses += 1;
+                        }
+                        report.provenance.push(MetricProvenance {
+                            name: metric.name.clone(),
+                            source: if hit {
+                                MetricSource::Cached
+                            } else {
+                                MetricSource::Computed
+                            },
+                        });
                     }
                     report.metrics.push(metric);
                 }
@@ -253,6 +331,13 @@ impl CompositionEngine {
                         seceda_trace::counter("chaos.injections", 1);
                     }
                     degraded += 1;
+                    if caching {
+                        misses += 1;
+                        report.provenance.push(MetricProvenance {
+                            name: name.to_string(),
+                            source: MetricSource::Computed,
+                        });
+                    }
                     report.metrics.push(SecurityMetric::unavailable(
                         name,
                         threat,
@@ -263,6 +348,15 @@ impl CompositionEngine {
         }
         if degraded > 0 {
             seceda_trace::counter("compose.threats_degraded", degraded);
+        }
+        if caching {
+            if hits > 0 {
+                seceda_trace::counter("compose.cache_hits", hits);
+            }
+            if misses > 0 {
+                seceda_trace::counter("compose.cache_misses", misses);
+            }
+            eval_span.attr("cache_hits", hits);
         }
         eval_span.attr("degraded", degraded);
 
@@ -289,9 +383,15 @@ impl CompositionEngine {
     /// Panics if the countermeasure cannot apply to the current design
     /// (e.g. masking a sequential netlist).
     pub fn apply(&mut self, cm: Countermeasure) -> Result<EvaluationOutcome, NetlistError> {
-        let mut apply_span =
-            seceda_trace::span("compose.apply").with("countermeasure", format!("{cm:?}"));
-        let baseline = self.history.last().cloned();
+        let mut apply_span = seceda_trace::span("compose.apply");
+        if seceda_trace::enabled() {
+            // Debug-formatting the countermeasure allocates on every
+            // apply; this is the closure hot path, so only pay for the
+            // attribute when a recorder is actually listening.
+            apply_span.attr("countermeasure", format!("{cm:?}"));
+        }
+        let had_baseline = !self.history.is_empty();
+        let prev_hash = self.hash.take();
         match cm {
             Countermeasure::Masking => {
                 let masked = mask_netlist(&self.dut.netlist);
@@ -330,22 +430,149 @@ impl CompositionEngine {
             }
         }
         self.applied.push(cm);
+        // keep the structural hash alive across the edit and measure the
+        // dirty cone; without a cache no hash is maintained at all
+        let dirty_gates = match prev_hash {
+            Some(prev) => {
+                let new_hash = match cm {
+                    // XorLock and TrojanMonitor splice into a clone of
+                    // the design — surviving nets keep their structure —
+                    // so the incremental update re-fingerprints only the
+                    // edited cone
+                    Countermeasure::XorLock(_) | Countermeasure::TrojanMonitor => {
+                        let mut h = prev.clone();
+                        h.update_after_edit(&self.dut.netlist, &[])?;
+                        debug_assert_eq!(
+                            h,
+                            StructuralHash::of(&self.dut.netlist).expect("full rehash"),
+                            "incremental hash diverged after {cm:?}"
+                        );
+                        h
+                    }
+                    // masking / parity / duplication rebuild the netlist
+                    // wholesale; a full re-hash is the honest cost
+                    _ => StructuralHash::of(&self.dut.netlist)?,
+                };
+                let dirty = new_hash.dirty_gates(&self.dut.netlist, &prev).len();
+                seceda_trace::counter("compose.dirty_gates", dirty as u64);
+                apply_span.attr("dirty_gates", dirty);
+                self.hash = Some(new_hash);
+                Some(dirty)
+            }
+            // cache off, or nothing evaluated yet: stay lazy
+            None => None,
+        };
         let label = format!("after {cm:?}");
-        let report = self.evaluate(&label)?.clone();
-        let regressions = match &baseline {
-            Some(base) => report
-                .regressions_from(base)
+        self.evaluate(&label)?;
+        // the baseline is borrowed from history rather than cloned —
+        // reports on big closures carry four metrics plus provenance and
+        // cloning one per step was pure overhead
+        let last = self.history.len() - 1;
+        let regressions: Vec<String> = if had_baseline {
+            self.history[last]
+                .regressions_from(&self.history[last - 1])
                 .into_iter()
                 .map(|m| m.name.clone())
-                .collect(),
-            None => Vec::new(),
+                .collect()
+        } else {
+            Vec::new()
         };
         apply_span.attr("regressions", regressions.len());
         seceda_trace::counter("compose.reevaluations", 1);
         Ok(EvaluationOutcome {
-            report,
+            report: self.history[last].clone(),
             regressions,
+            dirty_gates,
         })
+    }
+
+    /// Restores the design to `snapshot` (taken with
+    /// [`design`](Self::design)`.clone()` before the most recent
+    /// [`apply`](Self::apply)) and pops the countermeasure log.
+    ///
+    /// The report history stays append-only — the closure driver
+    /// re-evaluates the restored state, and with a shared cache that
+    /// re-evaluation hits the pre-apply keys instead of recomputing.
+    /// Returns the countermeasure that was rolled back.
+    pub fn revert_last(&mut self, snapshot: DesignUnderTest) -> Option<Countermeasure> {
+        self.dut = snapshot;
+        self.hash = None; // lazily re-hashed on the next evaluation
+        self.applied.pop()
+    }
+}
+
+/// Derives the cache key for one threat evaluator on the current design:
+/// a digest over *exactly* the state that evaluator reads, so equal keys
+/// imply bit-identical results.
+///
+/// Per-threat dependency sets (each must mirror its `eval_*` function —
+/// the differential suite enforces this):
+///
+/// * side-channel, masked: design digest + probing-model shape;
+///   unmasked: primary-input count only;
+/// * fault-injection: design digest, alarm index, shots, seed;
+/// * piracy: key bits only — no structural dependency at all;
+/// * trojan, monitored: constant; unmonitored: design digest, rarity
+///   threshold, seed.
+///
+/// Thresholds land in the produced [`SecurityMetric`], so each branch
+/// also absorbs the thresholds it reports against.
+fn threat_cache_key(
+    threat: ThreatVector,
+    dut: &DesignUnderTest,
+    eval: &SecurityEvaluation,
+    hash: &StructuralHash,
+) -> CacheKey {
+    let mut b = DigestBuilder::new();
+    match threat {
+        ThreatVector::SideChannel => {
+            b.absorb(eval.max_probing_leaks as u64);
+            match &dut.probing_model {
+                // the masked-interface condition mirrors eval_side_channel
+                Some(model)
+                    if dut.netlist.inputs().len()
+                        == model.num_secrets * seceda_sca::NUM_SHARES + model.num_randoms =>
+                {
+                    b.absorb(1);
+                    b.absorb_digest(hash.digest());
+                    b.absorb(model.num_secrets as u64);
+                    b.absorb(model.num_randoms as u64);
+                }
+                _ => {
+                    b.absorb(0);
+                    b.absorb(dut.netlist.inputs().len() as u64);
+                }
+            }
+        }
+        ThreatVector::FaultInjection => {
+            b.absorb_digest(hash.digest());
+            b.absorb(match dut.alarm_index {
+                Some(i) => i as u64 + 1,
+                None => 0,
+            });
+            b.absorb(eval.fia_shots as u64);
+            b.absorb(eval.seed);
+            b.absorb(eval.min_fault_coverage.to_bits());
+        }
+        ThreatVector::Piracy => {
+            b.absorb(dut.key_bits as u64);
+            b.absorb(eval.min_key_bits as u64);
+        }
+        ThreatVector::Trojan => {
+            b.absorb(eval.max_unmonitored_rare_nets as u64);
+            if dut.monitored {
+                b.absorb(1); // monitored designs report zero surface
+            } else {
+                b.absorb(0);
+                b.absorb_digest(hash.digest());
+                b.absorb(eval.rare_threshold.to_bits());
+                b.absorb(eval.seed);
+            }
+        }
+    }
+    CacheKey {
+        threat,
+        dep: b.finish().0,
     }
 }
 

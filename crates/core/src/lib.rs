@@ -18,6 +18,13 @@
 //!   step-function behaviour Sec. IV predicts (and [`dse`] measures);
 //! * [`compose`] — the composition engine: apply countermeasures to a
 //!   design-under-test, re-evaluate all threats, detect cross-effects;
+//! * [`cache`] — the sharded per-threat evaluation cache that makes the
+//!   re-evaluate-everything loop affordable: results are keyed on a
+//!   structural digest of exactly what each evaluator reads, so a hit
+//!   is bit-identical to a recompute;
+//! * [`closure`] — the multi-session closure driver: many
+//!   countermeasure schedules evaluated concurrently over one shared
+//!   cache, with rollback of regressing steps;
 //! * [`flow`] — the classical (Fig. 1) and security-centric flow
 //!   pipelines over the `seceda` substrate crates;
 //! * [`dse`] — security-aware design-space exploration with
@@ -25,6 +32,8 @@
 //! * [`report`] — the regenerators for the paper's Table I and Table II
 //!   as *measured* artifacts.
 
+pub mod cache;
+pub mod closure;
 pub mod compose;
 pub mod dse;
 pub mod flow;
@@ -32,11 +41,18 @@ pub mod metrics;
 pub mod report;
 pub mod threat;
 
+pub use cache::{CacheKey, CacheStats, EvalCache};
+pub use closure::{
+    run_closure, run_closure_full, run_closure_with, ClosureConfig, ClosureReport, ClosureSession,
+    SessionOutcome,
+};
 pub use compose::{
     CompositionEngine, Countermeasure, DesignUnderTest, EvaluationOutcome, SecurityEvaluation,
 };
 pub use dse::{explore, step_score, DsePoint, DseSweep};
 pub use flow::{run_classical_flow, run_secure_flow, FlowReport, StageReport};
-pub use metrics::{MetricValue, SecurityMetric, SecurityReport, Verdict};
+pub use metrics::{
+    MetricProvenance, MetricSource, MetricValue, SecurityMetric, SecurityReport, Verdict,
+};
 pub use report::{table1, table2, Table};
 pub use threat::{AttackTime, EdaRole, ThreatVector};

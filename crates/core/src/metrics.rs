@@ -151,13 +151,48 @@ impl fmt::Display for SecurityMetric {
     }
 }
 
+/// How a metric in a report was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricSource {
+    /// Evaluated from scratch this run.
+    Computed,
+    /// Served from the shared evaluation cache: the threat's dependency
+    /// cone was untouched by the edits since the metric was computed.
+    Cached,
+}
+
+/// Provenance of one metric in a report (recorded by the incremental
+/// composition engine when it runs with an evaluation cache).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricProvenance {
+    /// The metric name this entry describes.
+    pub name: String,
+    /// Where the value came from.
+    pub source: MetricSource,
+}
+
 /// A full multi-threat evaluation of one design state.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SecurityReport {
     /// Label of the design state (e.g. "after masking").
     pub label: String,
     /// All evaluated metrics.
     pub metrics: Vec<SecurityMetric>,
+    /// Per-metric provenance, parallel to `metrics`, when the engine
+    /// ran with an evaluation cache; empty otherwise.
+    pub provenance: Vec<MetricProvenance>,
+}
+
+/// Equality compares the label and the metrics only. Provenance is
+/// execution metadata — whether a value was computed or served from
+/// cache — and a cached report must compare equal to its full-recompute
+/// twin; this is the bit-identity contract the differential suite
+/// pins. (Same discipline as `Netlist`'s equality, which ignores
+/// internal net names as debugging metadata.)
+impl PartialEq for SecurityReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label && self.metrics == other.metrics
+    }
 }
 
 impl SecurityReport {
@@ -166,7 +201,16 @@ impl SecurityReport {
         SecurityReport {
             label: label.into(),
             metrics: Vec::new(),
+            provenance: Vec::new(),
         }
+    }
+
+    /// Number of metrics served from the evaluation cache this run.
+    pub fn cached_count(&self) -> usize {
+        self.provenance
+            .iter()
+            .filter(|p| p.source == MetricSource::Cached)
+            .count()
     }
 
     /// Metrics for a specific threat.
@@ -262,11 +306,14 @@ impl ToJson for SecurityMetric {
 
 impl ToJson for SecurityReport {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let mut obj = Json::obj()
             .field("label", self.label.as_str())
             .field("all_pass", self.all_pass())
-            .field("metrics", Json::arr(&self.metrics))
-            .build()
+            .field("metrics", Json::arr(&self.metrics));
+        if !self.provenance.is_empty() {
+            obj = obj.field("cached", self.cached_count() as i64);
+        }
+        obj.build()
     }
 }
 

@@ -469,7 +469,9 @@ pub fn sat_attack_budgeted(
                         // the iteration did not complete: no delta, no
                         // observation, no iteration count
                         sp.attr("result", "suspended");
-                        sp.attr("stop_reason", format!("{reason}"));
+                        if seceda_trace::enabled() {
+                            sp.attr("stop_reason", format!("{reason}"));
+                        }
                         return Ok(suspend(
                             &solver,
                             observations,
@@ -514,7 +516,9 @@ pub fn sat_attack_budgeted(
                                 // extraction together
                                 conflict_deltas.pop();
                                 sp.attr("result", "suspended");
-                                sp.attr("stop_reason", format!("{reason}"));
+                                if seceda_trace::enabled() {
+                                    sp.attr("stop_reason", format!("{reason}"));
+                                }
                                 return Ok(suspend(
                                     &solver,
                                     observations,
@@ -538,7 +542,9 @@ pub fn sat_attack_budgeted(
                     SolveOutcome::Indeterminate(reason) => {
                         conflict_deltas.pop();
                         sp.attr("result", "suspended");
-                        sp.attr("stop_reason", format!("{reason}"));
+                        if seceda_trace::enabled() {
+                            sp.attr("stop_reason", format!("{reason}"));
+                        }
                         return Ok(suspend(
                             &solver,
                             observations,
@@ -557,7 +563,9 @@ pub fn sat_attack_budgeted(
             }
             SolveOutcome::Indeterminate(reason) => {
                 sp.attr("result", "suspended");
-                sp.attr("stop_reason", format!("{reason}"));
+                if seceda_trace::enabled() {
+                    sp.attr("stop_reason", format!("{reason}"));
+                }
                 return Ok(suspend(
                     &solver,
                     observations,

@@ -8,7 +8,7 @@
 //! throughput, composition, and depth, and can re-export the design as
 //! `.bench`.
 
-use seceda_netlist::{parse_design_path, write_bench, DepthReport, NetlistStats};
+use seceda_netlist::{parse_design_path, write_bench, DepthReport, NetlistStats, StructuralHash};
 use std::time::Instant;
 
 fn main() {
@@ -96,6 +96,15 @@ fn main() {
         "depth     {} levels, critical path {:.1} delay units",
         depth.levels, depth.critical_path
     );
+    let t2 = Instant::now();
+    match StructuralHash::of(&nl) {
+        Ok(h) => println!(
+            "digest    {} ({:.2} ms)",
+            h.digest(),
+            t2.elapsed().as_secs_f64() * 1e3
+        ),
+        Err(e) => eprintln!("digest    unavailable: {e}"),
+    }
 
     if let Some(out) = out_bench {
         let text = write_bench(&nl);

@@ -1,0 +1,134 @@
+//! Property suite for the structural design hash: the incremental
+//! update path must be bit-identical to a full re-hash under random
+//! splice edits, and dirty tracking must be exactly the fan-out cone.
+
+use seceda_netlist::{
+    c17, parse_design, random_circuit, ripple_adder, write_bench, CellKind, DesignFormat, GateTags,
+    NetId, Netlist, RandomCircuitConfig, StructuralHash,
+};
+use seceda_testkit::rng::{Rng, SeedableRng, StdRng};
+
+/// Applies `edits` random `insert_after` splices and checks after each
+/// one that the incremental hash matches a full re-hash.
+fn check_incremental_edits(mut nl: Netlist, seed: u64, edits: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut h = StructuralHash::of(&nl).expect("hash");
+    for step in 0..edits {
+        let target = if rng.gen::<bool>() {
+            // splice after a random gate output
+            let g = rng.gen_range(0..nl.num_gates());
+            nl.gates()[g].output
+        } else {
+            // or after a random primary input
+            let k = rng.gen_range(0..nl.inputs().len());
+            nl.inputs()[k]
+        };
+        let kind = match rng.gen_range(0..3u32) {
+            0 => CellKind::Not,
+            1 => CellKind::Buf,
+            _ => CellKind::Xor,
+        };
+        let extra: Vec<NetId> = if kind == CellKind::Xor {
+            vec![nl.add_input(format!("k{step}"))]
+        } else {
+            Vec::new()
+        };
+        let before = h.clone();
+        nl.insert_after(target, kind, &extra, GateTags::default());
+        h.update_after_edit(&nl, &[]).expect("incremental update");
+        let full = StructuralHash::of(&nl).expect("full rehash");
+        assert_eq!(h, full, "seed {seed:#x} step {step}: incremental diverged");
+        assert_ne!(
+            h.digest(),
+            before.digest(),
+            "seed {seed:#x} step {step}: a splice must move the digest"
+        );
+        // dirty gates: non-empty (the splice itself) and closed under
+        // fan-out — every reader of a dirty output is itself dirty
+        let dirty = h.dirty_gates(&nl, &before);
+        assert!(!dirty.is_empty(), "seed {seed:#x} step {step}");
+        let dirty_set: std::collections::HashSet<usize> = dirty.iter().map(|g| g.index()).collect();
+        let fanout = nl.fanout();
+        for &g in &dirty {
+            for &reader in fanout.loads(nl.gates()[g.index()].output) {
+                if !nl.gates()[reader.index()].kind.is_sequential() {
+                    assert!(
+                        dirty_set.contains(&reader.index()),
+                        "seed {seed:#x} step {step}: dirty set not closed under fan-out"
+                    );
+                }
+            }
+        }
+    }
+    nl.validate().expect("edited netlist stays well-formed");
+}
+
+#[test]
+fn incremental_matches_full_on_bench_circuits() {
+    check_incremental_edits(c17(), 0xC17, 6);
+    check_incremental_edits(ripple_adder(8), 0xADD, 6);
+}
+
+#[test]
+fn incremental_matches_full_on_random_circuits() {
+    for seed in [1u64, 2, 3] {
+        let nl = random_circuit(&RandomCircuitConfig {
+            num_inputs: 12,
+            num_gates: 300,
+            num_outputs: 6,
+            with_xor: true,
+            seed,
+        });
+        check_incremental_edits(nl, seed, 8);
+    }
+}
+
+#[test]
+fn parsed_and_built_circuits_share_fingerprints() {
+    // the .bench round-trip renames internal nets but preserves
+    // structure, so every fingerprint and the digest must survive
+    let nl = ripple_adder(16);
+    let reparsed = parse_design(&write_bench(&nl), DesignFormat::Bench).expect("parse");
+    let h = StructuralHash::of(&nl).expect("hash");
+    let hr = StructuralHash::of(&reparsed).expect("hash");
+    assert_eq!(h.digest(), hr.digest());
+    assert_eq!(h.output_cones(), hr.output_cones());
+}
+
+#[test]
+fn unrelated_designs_do_not_collide() {
+    let digests: Vec<_> = [1u64, 2, 3, 4, 5]
+        .iter()
+        .map(|&seed| {
+            let nl = random_circuit(&RandomCircuitConfig {
+                seed,
+                ..RandomCircuitConfig::default()
+            });
+            StructuralHash::of(&nl).expect("hash").digest()
+        })
+        .collect();
+    for i in 0..digests.len() {
+        for j in i + 1..digests.len() {
+            assert_ne!(digests[i], digests[j], "seeds {i} and {j} collided");
+        }
+    }
+}
+
+#[test]
+fn scale_smoke_hashes_100k_gates() {
+    let nl = random_circuit(&RandomCircuitConfig {
+        num_inputs: 64,
+        num_gates: 100_000,
+        num_outputs: 32,
+        with_xor: true,
+        seed: 0xB16,
+    });
+    let mut h = StructuralHash::of(&nl).expect("hash");
+    // a single splice re-fingerprints only the fan-out cone, then the
+    // state still matches a full re-hash
+    let mut edited = nl.clone();
+    let target = edited.gates()[50_000].output;
+    edited.insert_after(target, CellKind::Not, &[], GateTags::default());
+    h.update_after_edit(&edited, &[]).expect("update");
+    assert_eq!(h, StructuralHash::of(&edited).expect("full"));
+}

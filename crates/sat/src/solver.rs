@@ -1013,7 +1013,9 @@ impl Solver {
             SolveOutcome::Indeterminate(reason) => {
                 seceda_trace::counter("sat.indeterminate", 1);
                 sp.attr("result", "indeterminate");
-                sp.attr("stop_reason", format!("{reason}"));
+                if seceda_trace::enabled() {
+                    sp.attr("stop_reason", format!("{reason}"));
+                }
                 if *reason == StopReason::Deadline {
                     // event-driven stall report while the sat.solve span
                     // is still open, so armed watchdogs see the stack

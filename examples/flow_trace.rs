@@ -19,7 +19,8 @@
 //! ```
 
 use seceda_core::{
-    run_classical_flow, run_secure_flow, CompositionEngine, DesignUnderTest, SecurityEvaluation,
+    run_classical_flow, run_closure, run_secure_flow, ClosureConfig, ClosureSession,
+    CompositionEngine, Countermeasure, DesignUnderTest, SecurityEvaluation,
 };
 use seceda_lock::{sat_attack, sat_attack_budgeted, xor_lock, SatAttackOutcome};
 use seceda_netlist::{c17, parse_design, write_bench, DesignFormat, Netlist, Word};
@@ -139,6 +140,28 @@ fn trace_degradation_counters() -> Result<Vec<Event>, Box<dyn std::error::Error>
     Ok(drain())
 }
 
+/// Exercises the incremental-closure machinery: a small portfolio of
+/// sessions with identical schedules over one shared evaluation cache,
+/// so the session carries the cache telemetry (`compose.cache_hits`,
+/// `compose.cache_misses`, `compose.dirty_gates`, `closure.sessions`)
+/// plus `compose.reeval_ns` samples for every re-evaluation.
+fn trace_closure_counters() -> Result<f64, Box<dyn std::error::Error>> {
+    let design = c17();
+    let schedule = vec![Countermeasure::XorLock(8), Countermeasure::TrojanMonitor];
+    let sessions: Vec<ClosureSession> = (0..3)
+        .map(|i| {
+            ClosureSession::new(
+                format!("s{i}"),
+                DesignUnderTest::new(design.clone()),
+                schedule.clone(),
+            )
+        })
+        .collect();
+    let report = run_closure(sessions, &ClosureConfig::default())?;
+    assert!(report.cache.hits > 0, "shared schedules must hit the cache");
+    Ok(report.cache.hit_rate())
+}
+
 fn main() {
     if let Err(e) = run() {
         eprintln!("error: {e}");
@@ -177,6 +200,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         "sat.dip_iter_ns",
         "sim.fault_batch_ns",
         "compose.threat_ns",
+        "compose.reeval_ns",
     ] {
         let h = engine_summary
             .histogram(metric)
@@ -212,12 +236,33 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         println!("{counter:<26} total={total}");
     }
 
-    // 5. The whole session as JSON-lines for the seceda_obs CLI
+    // 5. Incremental closure: three sessions with identical schedules
+    //    over one shared cache — the cache and dirty-cone counters land
+    //    in `seceda_obs top` alongside the hit rate printed here.
+    drain();
+    let hit_rate = trace_closure_counters()?;
+    let closure_events = drain();
+    let closure_summary = Summary::of(&closure_events);
+    println!("\n=== incremental closure (3 sessions, shared cache) ===");
+    for counter in [
+        "closure.sessions",
+        "compose.cache_hits",
+        "compose.cache_misses",
+        "compose.dirty_gates",
+    ] {
+        let total = closure_summary.counters.get(counter).copied().unwrap_or(0);
+        assert!(total > 0, "{counter}: no increments recorded");
+        println!("{counter:<26} total={total}");
+    }
+    println!("cache hit rate             {hit_rate:.3}");
+
+    // 6. The whole session as JSON-lines for the seceda_obs CLI
     //    (export to Perfetto, hot-span top-N, session diffing).
     let mut all_events = c17_events;
     all_events.extend(sbox_events);
     all_events.extend(engine_events);
     all_events.extend(degradation_events);
+    all_events.extend(closure_events);
     let jsonl_path = target_dir().join("flow_trace.jsonl");
     std::fs::write(&jsonl_path, to_json_lines(&all_events))?;
     println!(

@@ -60,6 +60,13 @@ echo "==> BENCH_parse.json passes schema validation"
 cargo run --release --offline -p seceda-bench --bin check_json -- \
     "${CARGO_TARGET_DIR:-target}/BENCH_parse.json"
 
+echo "==> compose bench smoke run (quick mode)"
+SECEDA_BENCH_QUICK=1 cargo bench --offline --bench compose > /dev/null
+
+echo "==> BENCH_compose.json passes schema validation"
+cargo run --release --offline -p seceda-bench --bin check_json -- \
+    "${CARGO_TARGET_DIR:-target}/BENCH_compose.json"
+
 # Perf-regression delta table vs the committed BENCH_baseline.json.
 # Advisory by default (timings are machine-dependent); set
 # SECEDA_BENCH_STRICT=1 on a dedicated perf runner to make it gate.
